@@ -1,0 +1,126 @@
+// Command mrrun runs one benchmark application on the simulated cluster
+// and prints its timing, cost breakdown and counters.
+//
+// Usage:
+//
+//	mrrun [flags] <app>
+//
+// where <app> is one of: wordcount, invertedindex, wordpostag,
+// accesslogsum, accesslogjoin, pagerank, syntext.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mrtext"
+)
+
+func main() {
+	var (
+		nodes     = flag.Int("nodes", 6, "cluster nodes")
+		freq      = flag.Bool("freqbuf", false, "enable frequency-buffering")
+		spill     = flag.Bool("spillmatcher", false, "enable the spill-matcher")
+		megabytes = flag.Int64("mb", 16, "input size in MiB")
+		bufKB     = flag.Int64("buffer-kb", 2048, "map-side spill buffer size in KiB")
+		reducers  = flag.Int("reducers", 0, "reduce tasks (0 = cluster slots)")
+		posIter   = flag.Int("pos-iterations", 8, "WordPOSTag tagger iterations")
+		cpu       = flag.Int("syntext-cpu", 4, "SynText CPU factor")
+		storage   = flag.Float64("syntext-storage", 0.5, "SynText storage intensity [0,1]")
+		fast      = flag.Bool("fast", false, "disable disk/network throttling")
+		verbose   = flag.Bool("v", false, "print per-counter details")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mrrun [flags] <app>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	app := strings.ToLower(flag.Arg(0))
+
+	cfg := mrtext.LocalSmallCluster()
+	cfg.Nodes = *nodes
+	if *fast {
+		fcfg := mrtext.FastCluster(*nodes)
+		cfg = fcfg
+	}
+	c, err := mrtext.NewCluster(cfg)
+	if err != nil {
+		die(err)
+	}
+
+	target := *megabytes << 20
+	var job *mrtext.Job
+	switch app {
+	case "wordcount", "invertedindex", "wordpostag", "syntext":
+		if err := mrtext.GenerateCorpus(c, "corpus.txt", mrtext.DefaultCorpus(), target); err != nil {
+			die(err)
+		}
+		switch app {
+		case "wordcount":
+			job = mrtext.WordCount("corpus.txt")
+		case "invertedindex":
+			job = mrtext.InvertedIndex("corpus.txt")
+		case "wordpostag":
+			job = mrtext.WordPOSTag(*posIter, "corpus.txt")
+		case "syntext":
+			job = mrtext.SynText(mrtext.SynTextConfig{CPUFactor: *cpu, Storage: *storage}, "corpus.txt")
+		}
+	case "accesslogsum", "accesslogjoin":
+		lc := mrtext.DefaultLog()
+		if err := mrtext.GenerateUserVisits(c, "visits.log", lc, target); err != nil {
+			die(err)
+		}
+		if app == "accesslogsum" {
+			job = mrtext.AccessLogSum("visits.log")
+		} else {
+			if err := mrtext.GenerateRankings(c, "rankings.tbl", lc); err != nil {
+				die(err)
+			}
+			job = mrtext.AccessLogJoin("visits.log", "rankings.tbl")
+		}
+	case "pagerank":
+		gc := mrtext.DefaultGraph()
+		if err := mrtext.GenerateWebGraph(c, "crawl.tsv", gc); err != nil {
+			die(err)
+		}
+		job = mrtext.PageRank("crawl.tsv", gc.Pages)
+	default:
+		die(fmt.Errorf("unknown app %q", app))
+	}
+
+	job.SpillBufferBytes = *bufKB << 10
+	job.NumReducers = *reducers
+	if *freq {
+		switch app {
+		case "accesslogsum", "accesslogjoin", "pagerank":
+			job.FreqBuf = mrtext.FreqBufLog()
+		default:
+			job.FreqBuf = mrtext.FreqBufText()
+		}
+	}
+	job.SpillMatcher = *spill
+
+	res, err := mrtext.Run(c, job)
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("%s: wall %s (map %s, shuffle+reduce %s), %d map + %d reduce tasks\n",
+		res.Job, res.Wall.Round(1e6), res.MapWall.Round(1e6), res.ReduceWall.Round(1e6),
+		res.MapTasks, res.ReduceTasks)
+	fmt.Printf("map idle %.1f%%, support idle %.1f%%\n",
+		100*res.MapIdleFraction(), 100*res.SupportIdleFraction())
+	fmt.Print(res.Agg.Breakdown())
+	if *verbose {
+		for _, name := range res.Agg.CounterNames() {
+			fmt.Printf("%-24s %d\n", name, res.Agg.Counters[name])
+		}
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "mrrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Invertedsearch: build an inverted index over a corpus with the optimized
+// runtime, then serve lookups from the index — the "web data processing"
+// workload that motivated the paper's text-centric focus.
+//
+//	go run ./examples/invertedsearch
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+
+	"mrtext"
+)
+
+func main() {
+	c, err := mrtext.NewCluster(mrtext.LocalSmallCluster())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mrtext.GenerateCorpus(c, "corpus.txt", mrtext.DefaultCorpus(), 4<<20); err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the index with both optimizations; the output format is
+	// "word<TAB>doc:off doc:off ...".
+	job := mrtext.InvertedIndex("corpus.txt")
+	job.FreqBuf = mrtext.FreqBufText()
+	job.SpillMatcher = true
+	res, err := mrtext.Run(c, job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index built in %v over %d map + %d reduce tasks\n",
+		res.Wall.Round(1e6), res.MapTasks, res.ReduceTasks)
+
+	// Load the index into memory (a real system would serve it from the
+	// DFS; the point here is exercising the output).
+	index := map[string][]string{}
+	var words int
+	for p := range res.Outputs {
+		data, err := mrtext.ReadOutput(c, res, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 1<<20), 16<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			tab := strings.IndexByte(line, '\t')
+			if tab < 0 {
+				continue
+			}
+			word := line[:tab]
+			index[word] = strings.Fields(line[tab+1:])
+			words++
+		}
+	}
+	fmt.Printf("index holds %d distinct words\n", words)
+
+	// Query a few words of very different frequencies: "a" is the rank-1
+	// word of the synthetic vocabulary, deeper ranks get rarer.
+	for _, q := range []string{"a", "m", "dd", "xyz"} {
+		postings := index[q]
+		if postings == nil {
+			fmt.Printf("  %-6q not in corpus\n", q)
+			continue
+		}
+		show := postings
+		if len(show) > 4 {
+			show = show[:4]
+		}
+		fmt.Printf("  %-6q %7d occurrences, first at %v\n", q, len(postings), show)
+	}
+}

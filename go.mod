@@ -1,0 +1,3 @@
+module mrtext
+
+go 1.22

@@ -1,0 +1,207 @@
+// Package apps implements the paper's six benchmark applications (§II-B)
+// plus the SynText parameterizable benchmark of §V-D against the mr
+// runtime's public contract. Each constructor returns a ready job spec;
+// callers flip the optimization switches (FreqBuf, SpillMatcher) on the
+// returned Job.
+//
+// All applications produce deterministic text output so any configuration
+// can be byte-compared against the sequential reference executor.
+package apps
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"mrtext/internal/mr"
+	"mrtext/internal/serde"
+)
+
+// splitWords tokenizes a corpus line in place (fields of lowercase ASCII
+// words, as produced by textgen).
+func splitWords(line []byte) [][]byte {
+	return bytes.Fields(line)
+}
+
+// sumCombine adds zig-zag varint int64 values — the combiner and the
+// reduction core of WordCount and AccessLogSum.
+func sumCombine(key []byte, values [][]byte, emit func(k, v []byte) error) error {
+	var sum int64
+	for _, v := range values {
+		n, err := serde.DecodeInt64(v)
+		if err != nil {
+			return fmt.Errorf("apps: decoding count for %q: %w", key, err)
+		}
+		sum += n
+	}
+	return emit(key, serde.EncodeInt64(sum))
+}
+
+// sumReducer reduces by summing int64 values and emitting the total.
+type sumReducer struct{}
+
+func (sumReducer) Reduce(key []byte, values mr.ValueIter, out mr.Collector) error {
+	var sum int64
+	for {
+		v, ok, err := values.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		n, err := serde.DecodeInt64(v)
+		if err != nil {
+			return fmt.Errorf("apps: decoding count for %q: %w", key, err)
+		}
+		sum += n
+	}
+	return out.Collect(key, serde.EncodeInt64(sum))
+}
+
+// textKVFormat renders "key<TAB>int64Value\n".
+func textKVFormat(key, value []byte) ([]byte, error) {
+	n, err := serde.DecodeInt64(value)
+	if err != nil {
+		return nil, err
+	}
+	line := make([]byte, 0, len(key)+24)
+	line = append(line, key...)
+	line = append(line, '\t')
+	line = strconv.AppendInt(line, n, 10)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// ---------- WordCount ----------
+
+var one = serde.EncodeInt64(1)
+
+type wordCountMapper struct{}
+
+func (wordCountMapper) Map(_ int64, line []byte, out mr.Collector) error {
+	for _, w := range splitWords(line) {
+		if err := out.Collect(w, one); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WordCount counts occurrences of each distinct word in the corpus — the
+// canonical text-centric MapReduce program.
+func WordCount(inputs ...string) *mr.Job {
+	return &mr.Job{
+		Name:       "wordcount",
+		Inputs:     inputs,
+		NewMapper:  func() mr.Mapper { return wordCountMapper{} },
+		NewReducer: func() mr.Reducer { return sumReducer{} },
+		Combine:    sumCombine,
+		Format:     textKVFormat,
+	}
+}
+
+// ---------- InvertedIndex ----------
+
+// invIdxDocShift buckets line offsets into pseudo-documents of 64 KiB, so
+// posting lists carry (doc, offset) locations as a real index would.
+const invIdxDocShift = 16
+
+type invertedIndexMapper struct {
+	scratch []byte
+}
+
+func (m *invertedIndexMapper) Map(off int64, line []byte, out mr.Collector) error {
+	doc := uint64(off) >> invIdxDocShift
+	for _, w := range splitWords(line) {
+		m.scratch = serde.AppendPostings(m.scratch[:0], []serde.Posting{{Doc: doc, Off: uint64(off)}})
+		if err := out.Collect(w, m.scratch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// postingsCombine merges posting lists — the value grows with every merge,
+// which is what makes InvertedIndex the storage-intensive corner of
+// Fig. 10.
+func postingsCombine(key []byte, values [][]byte, emit func(k, v []byte) error) error {
+	if len(values) == 1 {
+		return emit(key, values[0])
+	}
+	var all []serde.Posting
+	var err error
+	for _, v := range values {
+		all, err = serde.DecodePostings(all, v)
+		if err != nil {
+			return fmt.Errorf("apps: merging postings for %q: %w", key, err)
+		}
+	}
+	sortPostings(all)
+	return emit(key, serde.EncodePostings(all))
+}
+
+type invertedIndexReducer struct{}
+
+func (invertedIndexReducer) Reduce(key []byte, values mr.ValueIter, out mr.Collector) error {
+	var all []serde.Posting
+	for {
+		v, ok, err := values.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		all, err = serde.DecodePostings(all, v)
+		if err != nil {
+			return fmt.Errorf("apps: decoding postings for %q: %w", key, err)
+		}
+	}
+	sortPostings(all)
+	return out.Collect(key, serde.EncodePostings(all))
+}
+
+func sortPostings(ps []serde.Posting) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Doc != ps[j].Doc {
+			return ps[i].Doc < ps[j].Doc
+		}
+		return ps[i].Off < ps[j].Off
+	})
+}
+
+// invertedIndexFormat renders "word<TAB>doc:off doc:off ...\n".
+func invertedIndexFormat(key, value []byte) ([]byte, error) {
+	ps, err := serde.DecodePostings(nil, value)
+	if err != nil {
+		return nil, err
+	}
+	line := make([]byte, 0, len(key)+len(ps)*12)
+	line = append(line, key...)
+	line = append(line, '\t')
+	for i, p := range ps {
+		if i > 0 {
+			line = append(line, ' ')
+		}
+		line = strconv.AppendUint(line, p.Doc, 10)
+		line = append(line, ':')
+		line = strconv.AppendUint(line, p.Off, 10)
+	}
+	line = append(line, '\n')
+	return line, nil
+}
+
+// InvertedIndex builds, for each word, the list of all locations where it
+// appears.
+func InvertedIndex(inputs ...string) *mr.Job {
+	return &mr.Job{
+		Name:       "invertedindex",
+		Inputs:     inputs,
+		NewMapper:  func() mr.Mapper { return &invertedIndexMapper{} },
+		NewReducer: func() mr.Reducer { return invertedIndexReducer{} },
+		Combine:    postingsCombine,
+		Format:     invertedIndexFormat,
+	}
+}

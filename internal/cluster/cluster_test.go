@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"testing"
+
+	"mrtext/internal/vdisk"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 0}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := New(Config{Nodes: -2}); err == nil {
+		t.Error("negative nodes accepted")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c, err := New(Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MapSlots() != 1 || c.ReduceSlots() != 1 {
+		t.Errorf("slots %d/%d", c.MapSlots(), c.ReduceSlots())
+	}
+	if c.FS.BlockSize() != 4<<20 {
+		t.Errorf("block size %d", c.FS.BlockSize())
+	}
+	if len(c.Disks) != 2 || len(c.FreqCaches) != 2 {
+		t.Error("per-node resources missing")
+	}
+	if c.Net.Nodes() != 2 {
+		t.Errorf("fabric nodes %d", c.Net.Nodes())
+	}
+}
+
+func TestPresets(t *testing.T) {
+	local := LocalSmall()
+	if local.Nodes != 6 || local.Nodes*local.MapSlotsPerNode != 12 || local.Nodes*local.ReduceSlotsPerNode != 12 {
+		t.Errorf("local preset %+v does not match the paper's 12m+12r on 6 nodes", local)
+	}
+	if local.DiskThrottle == nil || local.Replication != 2 {
+		t.Error("local preset missing throttle or replication")
+	}
+	ec2 := EC2Large()
+	if ec2.Nodes != 20 {
+		t.Errorf("ec2 preset %d nodes", ec2.Nodes)
+	}
+	fast := Fast(3)
+	if fast.DiskThrottle != nil || fast.Nodes != 3 {
+		t.Errorf("fast preset %+v", fast)
+	}
+}
+
+func TestSlotTotals(t *testing.T) {
+	c, err := New(Config{Nodes: 4, MapSlotsPerNode: 3, ReduceSlotsPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalMapSlots() != 12 || c.TotalReduceSlots() != 8 {
+		t.Errorf("totals %d/%d", c.TotalMapSlots(), c.TotalReduceSlots())
+	}
+	if c.Config().Nodes != 4 || c.Nodes() != 4 {
+		t.Error("config accessor wrong")
+	}
+}
+
+func TestThrottledDisksWired(t *testing.T) {
+	thr := vdisk.DefaultThrottle()
+	c, err := New(Config{Nodes: 1, DiskThrottle: &thr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Disks[0].(*vdisk.Throttled); !ok {
+		t.Errorf("disk type %T, want *vdisk.Throttled", c.Disks[0])
+	}
+	c2, err := New(Config{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Disks[0].(*vdisk.Mem); !ok {
+		t.Errorf("disk type %T, want *vdisk.Mem", c2.Disks[0])
+	}
+}

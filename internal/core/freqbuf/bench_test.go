@@ -1,0 +1,54 @@
+package freqbuf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mrtext/internal/core/zipfest"
+	"mrtext/internal/serde"
+)
+
+// BenchmarkOfferOptimizeStage measures the hot path: a frozen table
+// absorbing a Zipfian record stream with a sum combiner.
+func BenchmarkOfferOptimizeStage(b *testing.B) {
+	s, err := zipfest.NewSampler(50_000, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	keys := make([][]byte, 1<<15)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("w%05d", s.Rank(rng.Float64())))
+	}
+	sum := func(key []byte, values [][]byte, emit func(k, v []byte) error) error {
+		var total int64
+		for _, v := range values {
+			n, err := serde.DecodeInt64(v)
+			if err != nil {
+				return err
+			}
+			total += n
+		}
+		return emit(key, serde.EncodeInt64(total))
+	}
+	buf, err := New(Config{
+		K: 3000, MemoryBytes: 1 << 20,
+		ExpectedRecords: func() int64 { return 1 << 20 },
+	}, sum)
+	if err != nil {
+		b.Fatal(err)
+	}
+	top := make([]string, 0, 3000)
+	for i := int64(1); i <= 3000; i++ {
+		top = append(top, fmt.Sprintf("w%05d", i))
+	}
+	buf.InstallTopK(top, func([]byte) int { return 0 })
+	one := serde.EncodeInt64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := buf.Offer(0, keys[i&(1<<15-1)], one); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

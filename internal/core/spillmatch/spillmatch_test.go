@@ -1,0 +1,168 @@
+package spillmatch
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWaitFreePercentEquation(t *testing.T) {
+	cases := []struct {
+		p, c float64
+		want float64
+	}{
+		{100, 100, 0.5},  // balanced: ½
+		{200, 100, 0.5},  // producer faster: ½ (c/(p+c)=1/3 < ½)
+		{100, 300, 0.75}, // consumer faster: c/(p+c)
+		{100, 900, 0.9},  // much faster consumer
+		{1, 1e9, 1e9 / (1e9 + 1)},
+	}
+	for _, c := range cases {
+		if got := WaitFreePercent(c.p, c.c); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("WaitFreePercent(%g,%g) = %g want %g", c.p, c.c, got, c.want)
+		}
+	}
+	// Degenerate rates default to ½.
+	if WaitFreePercent(0, 100) != 0.5 || WaitFreePercent(100, -1) != 0.5 {
+		t.Error("degenerate rates not defaulted")
+	}
+}
+
+func TestWaitFreePercentProperties(t *testing.T) {
+	f := func(p, c float64) bool {
+		p, c = math.Abs(p)+1e-9, math.Abs(c)+1e-9
+		x := WaitFreePercent(p, c)
+		if x < 0.5 || x >= 1 {
+			return false
+		}
+		// p < c  ⇔  x > ½ (strictly, up to fp noise)
+		if p < c && x <= 0.5-1e-12 {
+			return false
+		}
+		if p > c && x != 0.5 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaticController(t *testing.T) {
+	s := NewStatic(0.8)
+	if s.Percent() != 0.8 {
+		t.Errorf("Percent = %g", s.Percent())
+	}
+	s.Record(1<<20, time.Second, 2*time.Second) // ignored
+	if s.Percent() != 0.8 {
+		t.Error("static controller adapted")
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestMatcherAdaptsFromTimes(t *testing.T) {
+	m := NewMatcher(DefaultConfig())
+	if got := m.Percent(); got != 0.5 {
+		t.Errorf("initial percent %g", got)
+	}
+	// Producer twice as slow as the consumer: x = Tp/(Tp+Tc) = 2/3.
+	m.Record(1<<20, 2*time.Second, time.Second)
+	if got := m.Percent(); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("after slow producer: %g want 2/3", got)
+	}
+	// Consumer slower: clamp at ½.
+	m.Record(1<<20, time.Second, 4*time.Second)
+	if got := m.Percent(); got != 0.5 {
+		t.Errorf("after slow consumer: %g want 0.5", got)
+	}
+	if m.Spills() != 2 {
+		t.Errorf("spills %d", m.Spills())
+	}
+	hist := m.History()
+	if len(hist) != 2 || hist[0].NextX != 2.0/3 {
+		t.Errorf("history %+v", hist)
+	}
+}
+
+func TestMatcherIgnoresDegenerateMeasurements(t *testing.T) {
+	m := NewMatcher(DefaultConfig())
+	before := m.Percent()
+	m.Record(0, time.Second, time.Second)
+	m.Record(100, 0, time.Second)
+	m.Record(100, time.Second, -time.Second)
+	if m.Percent() != before || m.Spills() != 0 {
+		t.Error("degenerate measurements were not ignored")
+	}
+}
+
+func TestMatcherClamps(t *testing.T) {
+	m := NewMatcher(Config{Initial: 0.5, Min: 0.3, Max: 0.6})
+	// Extremely slow producer would push x→1; clamp to 0.6.
+	m.Record(1<<20, time.Hour, time.Millisecond)
+	if got := m.Percent(); got != 0.6 {
+		t.Errorf("max clamp: %g", got)
+	}
+}
+
+func TestMatcherSmoothing(t *testing.T) {
+	m := NewMatcher(Config{Initial: 0.5, Min: 0.1, Max: 0.95, Smoothing: 0.5})
+	m.Record(1<<20, 2*time.Second, time.Second) // Tp=2 Tc=1 → 2/3
+	m.Record(1<<20, time.Second, 2*time.Second) // smoothed: Tp=1.5 Tc=1.5 → 0.5
+	if got := m.Percent(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("smoothed percent %g want 0.5", got)
+	}
+}
+
+func TestMatcherConfigDefaults(t *testing.T) {
+	m := NewMatcher(Config{Initial: -1, Min: -2, Max: 7, Smoothing: 3})
+	if got := m.Percent(); got != 0.5 {
+		t.Errorf("defaulted initial %g", got)
+	}
+	// Swapped min/max are repaired.
+	m2 := NewMatcher(Config{Initial: 0.5, Min: 0.9, Max: 0.2})
+	m2.Record(1, time.Hour, time.Millisecond)
+	if got := m2.Percent(); got < 0.2 || got > 0.9 {
+		t.Errorf("swapped clamp bounds broke: %g", got)
+	}
+}
+
+func TestMatcherConcurrentAccess(t *testing.T) {
+	m := NewMatcher(DefaultConfig())
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Record(1<<20, time.Second, time.Second)
+				_ = m.Percent()
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Spills() != 4000 {
+		t.Errorf("spills %d", m.Spills())
+	}
+}
+
+func TestEquationReductionTpTc(t *testing.T) {
+	// c/(p+c) with p=m/Tp, c=m/Tc must equal Tp/(Tp+Tc): the identity the
+	// matcher relies on.
+	f := func(mRaw, tpRaw, tcRaw uint32) bool {
+		m := 1 + float64(mRaw)           // bytes
+		tp := 0.001 + float64(tpRaw)/1e6 // seconds
+		tc := 0.001 + float64(tcRaw)/1e6 // seconds
+		p, c := m/tp, m/tc
+		lhs := c / (p + c)
+		rhs := tp / (tp + tc)
+		return math.Abs(lhs-rhs) <= 1e-9*math.Max(lhs, rhs)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

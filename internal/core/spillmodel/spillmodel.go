@@ -1,0 +1,223 @@
+// Package spillmodel implements the analytic model of the map-task spill
+// pipeline from §IV-C of the paper: one producer (the map thread) filling a
+// buffer of M bytes at rate p, one consumer (the support thread) draining
+// handed-off spills at rate c, and a spill-percentage threshold x that
+// triggers the handoff. The recurrence the paper derives,
+//
+//	m_i = max{ xM, min{ (p/c)·m_{i−1}, M − m_{i−1} } },
+//
+// falls out of this simulation, and the package's property tests verify the
+// paper's central claim: x = max{c/(p+c), ½} is exactly the largest
+// threshold for which the slower thread never waits.
+//
+// The simulator is continuous-time and exact (no discretization): it steps
+// from event to event (threshold reached, buffer full, input exhausted,
+// consumer finished). It supports any Controller from spillmatch, so the
+// adaptive matcher can be evaluated against the model with time-varying
+// rates.
+package spillmodel
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mrtext/internal/core/spillmatch"
+)
+
+// Params describes one modeled map task.
+type Params struct {
+	// BufferBytes is M, the spill buffer size.
+	BufferBytes float64
+	// InputBytes is N, the total map-output volume the task produces.
+	InputBytes float64
+	// ProduceRate is p in bytes/second; used when Rates is nil.
+	ProduceRate float64
+	// ConsumeRate is c in bytes/second; used when Rates is nil.
+	ConsumeRate float64
+	// Rates, when non-nil, returns the instantaneous (p, c) given how many
+	// bytes have been produced so far; it lets tests model workloads whose
+	// CPU intensity drifts over the input. Rates must be piecewise
+	// constant between multiples of Quantum bytes.
+	Rates func(producedBytes float64) (p, c float64)
+	// Quantum bounds a simulation step when Rates is set (default: M/16).
+	Quantum float64
+}
+
+// Result summarizes one simulated task.
+type Result struct {
+	// MapWait is total time the producer was blocked on a full buffer.
+	MapWait float64
+	// SupportWait is total time the consumer sat idle.
+	SupportWait float64
+	// Makespan is the end-to-end task time.
+	Makespan float64
+	// Spills holds each spill's size in bytes.
+	Spills []float64
+	// Handoffs counts spills (== len(Spills)).
+	Handoffs int
+}
+
+// SlowerWait returns the wait time of the slower thread given the average
+// rates (the quantity eq. 1 minimizes).
+func (r Result) SlowerWait(p, c float64) float64 {
+	if p < c {
+		return r.MapWait
+	}
+	if c < p {
+		return r.SupportWait
+	}
+	return math.Min(r.MapWait, r.SupportWait)
+}
+
+const eps = 1e-9
+
+// Simulate runs the pipeline model under the given spill-percentage
+// controller. The controller's Percent is consulted at every handoff (with
+// the preceding spill's measurements already Recorded), mirroring the real
+// runtime.
+func Simulate(params Params, ctrl spillmatch.Controller) (Result, error) {
+	M := params.BufferBytes
+	N := params.InputBytes
+	if M <= 0 || N <= 0 {
+		return Result{}, fmt.Errorf("spillmodel: buffer (%g) and input (%g) must be positive", M, N)
+	}
+	rates := params.Rates
+	if rates == nil {
+		p, c := params.ProduceRate, params.ConsumeRate
+		if p <= 0 || c <= 0 {
+			return Result{}, fmt.Errorf("spillmodel: rates must be positive (p=%g c=%g)", p, c)
+		}
+		rates = func(float64) (float64, float64) { return p, c }
+	}
+	quantum := params.Quantum
+	if quantum <= 0 {
+		quantum = M / 16
+	}
+
+	var (
+		t         float64 // simulation clock
+		pending   float64 // produced, not yet handed off
+		inflight  float64 // spill currently being consumed (still occupies buffer)
+		supFreeAt float64 // time the consumer finishes the in-flight spill
+		remaining = N
+		res       Result
+		// Per-spill produce-time accounting (active time only).
+		curProduce float64
+	)
+	threshold := clampThreshold(ctrl.Percent()) * M
+
+	for remaining > eps || pending > eps || t < supFreeAt {
+		supBusy := t < supFreeAt-eps
+		if !supBusy {
+			inflight = 0
+			// Handoff if the threshold is met, or input is exhausted and a
+			// remainder is pending.
+			if pending >= threshold-eps || (remaining <= eps && pending > eps) {
+				size := pending
+				_, c := rates(N - remaining)
+				consume := size / c
+				res.Spills = append(res.Spills, size)
+				ctrl.Record(int64(size), secondsToDuration(curProduce), secondsToDuration(consume))
+				supFreeAt = t + consume
+				inflight = size
+				pending = 0
+				curProduce = 0
+				threshold = clampThreshold(ctrl.Percent()) * M
+				continue
+			}
+			if remaining <= eps {
+				break // nothing pending, nothing in flight, input done
+			}
+		}
+
+		p, _ := rates(N - remaining)
+		capacity := M - inflight
+
+		if remaining > eps && pending < capacity-eps {
+			// Producer runs. Next event is the earliest of: threshold
+			// reached (matters only when the consumer is idle), buffer
+			// full, consumer finishing, input exhausted, or a rate
+			// quantum boundary.
+			dt := math.Inf(1)
+			if !supBusy && pending < threshold {
+				dt = math.Min(dt, (threshold-pending)/p)
+			}
+			dt = math.Min(dt, (capacity-pending)/p)
+			if supBusy {
+				dt = math.Min(dt, supFreeAt-t)
+			}
+			dt = math.Min(dt, remaining/p)
+			if params.Rates != nil {
+				dt = math.Min(dt, quantum/p)
+			}
+			if dt <= 0 {
+				dt = eps
+			}
+			produced := p * dt
+			if produced > remaining {
+				produced = remaining
+			}
+			t += dt
+			pending += produced
+			remaining -= produced
+			curProduce += dt
+			if !supBusy {
+				res.SupportWait += dt
+			}
+			continue
+		}
+
+		if remaining > eps {
+			// Buffer full: the producer blocks until the consumer frees
+			// the in-flight region.
+			if supFreeAt <= t+eps {
+				return res, fmt.Errorf("spillmodel: producer blocked with idle consumer (pending=%g inflight=%g M=%g threshold=%g)", pending, inflight, M, threshold)
+			}
+			res.MapWait += supFreeAt - t
+			t = supFreeAt
+			continue
+		}
+
+		// Input exhausted, spill pending or in flight: jump to the
+		// consumer's completion.
+		if t < supFreeAt {
+			t = supFreeAt
+		}
+	}
+	if t < supFreeAt {
+		t = supFreeAt
+	}
+	res.Makespan = t
+	res.Handoffs = len(res.Spills)
+	return res, nil
+}
+
+func clampThreshold(x float64) float64 {
+	if x <= 0 || math.IsNaN(x) {
+		return 0.01
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// VerifyRecurrence checks the paper's spill-size recurrence against a
+// simulated run with static threshold x: beyond the first spill, every
+// steady-state spill size must equal max{xM, min{(p/c)·m_{i−1}, M−m_{i−1}}}
+// within tolerance. It returns the first violating index, or -1.
+func VerifyRecurrence(spills []float64, M, x, p, c, tol float64) int {
+	for i := 1; i < len(spills)-1; i++ { // last spill is the input remainder
+		prev := spills[i-1]
+		want := math.Max(x*M, math.Min(p/c*prev, M-prev))
+		if math.Abs(spills[i]-want) > tol*M {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,60 @@
+package topk
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mrtext/internal/core/zipfest"
+)
+
+func benchStream(n int) []string {
+	s, err := zipfest.NewSampler(50_000, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("w%05d", s.Rank(rng.Float64()))
+	}
+	return out
+}
+
+func BenchmarkStreamSummaryOffer(b *testing.B) {
+	stream := benchStream(1 << 16)
+	b.ResetTimer()
+	s := NewStreamSummary(4096)
+	for i := 0; i < b.N; i++ {
+		s.Offer(stream[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkStreamSummaryTop(b *testing.B) {
+	s := NewStreamSummary(4096)
+	for _, k := range benchStream(1 << 17) {
+		s.Offer(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Top(3000)
+	}
+}
+
+func BenchmarkExactOffer(b *testing.B) {
+	stream := benchStream(1 << 16)
+	b.ResetTimer()
+	e := NewExact()
+	for i := 0; i < b.N; i++ {
+		e.Offer(stream[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkLRUTouch(b *testing.B) {
+	stream := benchStream(1 << 16)
+	b.ResetTimer()
+	l := NewLRU(4096)
+	for i := 0; i < b.N; i++ {
+		l.Touch(stream[i&(1<<16-1)])
+	}
+}

@@ -1,0 +1,323 @@
+// Package topk implements the frequent-key estimation machinery behind
+// frequency-buffering (§III-B of the paper).
+//
+// The central type is StreamSummary, the Space-Saving algorithm of
+// Metwally, Agrawal and El Abbadi that the paper adopts for its profiling
+// stage: a fixed-capacity summary where each monitored key carries an
+// estimated count and a maximum overestimation error, and where a new key
+// displaces the currently least-frequent one, inheriting its count plus
+// one — the "slightly higher than the lowest frequency" insertion the paper
+// describes to avoid thrashing.
+//
+// The package also provides the two comparison predictors evaluated in
+// Fig. 7: Exact (the "Ideal" oracle with perfect knowledge of the key
+// distribution) and LRU (a buffer that admits every key and evicts the
+// least recently used).
+package topk
+
+import (
+	"container/list"
+	"sort"
+)
+
+// Counted is a key with its estimated count. Err bounds the overestimation:
+// the true count lies in [Count-Err, Count].
+type Counted struct {
+	Key   string
+	Count uint64
+	Err   uint64
+}
+
+// bucket groups all monitored keys sharing one estimated count. Buckets
+// live on a doubly-linked list in ascending count order, giving O(1)
+// minimum lookup and O(1) count increments, as in the original
+// stream-summary data structure.
+type bucket struct {
+	count uint64
+	items *list.List // of *ssItem
+}
+
+// ssItem is one monitored key.
+type ssItem struct {
+	key    string
+	err    uint64
+	bucket *list.Element // element in the bucket list whose Value is *bucket
+	self   *list.Element // this item's element inside bucket.items
+}
+
+// StreamSummary is the Space-Saving top-k summary. It is not safe for
+// concurrent use; in the runtime each map task profiles with its own
+// summary.
+type StreamSummary struct {
+	capacity int
+	items    map[string]*ssItem
+	buckets  *list.List // of *bucket, ascending by count
+	observed uint64
+}
+
+// NewStreamSummary returns a summary monitoring at most capacity keys.
+// Capacity must be positive.
+func NewStreamSummary(capacity int) *StreamSummary {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &StreamSummary{
+		capacity: capacity,
+		items:    make(map[string]*ssItem, capacity),
+		buckets:  list.New(),
+	}
+}
+
+// Capacity returns the maximum number of monitored keys.
+func (s *StreamSummary) Capacity() int { return s.capacity }
+
+// Len returns the number of currently monitored keys.
+func (s *StreamSummary) Len() int { return len(s.items) }
+
+// Observed returns the total number of Offer calls.
+func (s *StreamSummary) Observed() uint64 { return s.observed }
+
+// Offer records one occurrence of key.
+func (s *StreamSummary) Offer(key string) {
+	s.observed++
+	if it, ok := s.items[key]; ok {
+		s.increment(it, 1)
+		return
+	}
+	if len(s.items) < s.capacity {
+		s.insert(key, 1, 0)
+		return
+	}
+	// Evict the minimum-count key; the newcomer inherits min+1 with error
+	// min, exactly Space-Saving's replacement rule.
+	minBkt := s.buckets.Front().Value.(*bucket)
+	victimEl := minBkt.items.Front()
+	victim := victimEl.Value.(*ssItem)
+	delete(s.items, victim.key)
+	minBkt.items.Remove(victimEl)
+	minCount := minBkt.count
+	if minBkt.items.Len() == 0 {
+		s.buckets.Remove(s.buckets.Front())
+	}
+	s.insert(key, minCount+1, minCount)
+}
+
+// OfferN records n occurrences of key (a convenience for weighted feeds).
+func (s *StreamSummary) OfferN(key string, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.Offer(key)
+	}
+}
+
+// insert adds a fresh monitored key with the given count and error.
+func (s *StreamSummary) insert(key string, count, errBound uint64) {
+	it := &ssItem{key: key, err: errBound}
+	s.items[key] = it
+	// Find or create the bucket with this count, scanning from the front
+	// (inserts happen at or near the minimum).
+	el := s.buckets.Front()
+	for el != nil && el.Value.(*bucket).count < count {
+		el = el.Next()
+	}
+	if el == nil || el.Value.(*bucket).count > count {
+		b := &bucket{count: count, items: list.New()}
+		if el == nil {
+			it.bucket = s.buckets.PushBack(b)
+		} else {
+			it.bucket = s.buckets.InsertBefore(b, el)
+		}
+	} else {
+		it.bucket = el
+	}
+	it.self = it.bucket.Value.(*bucket).items.PushBack(it)
+}
+
+// increment moves it up by delta counts, relocating it to the right bucket.
+func (s *StreamSummary) increment(it *ssItem, delta uint64) {
+	cur := it.bucket
+	b := cur.Value.(*bucket)
+	newCount := b.count + delta
+	b.items.Remove(it.self)
+
+	// Find the bucket for newCount at or after cur.
+	el := cur.Next()
+	if b.items.Len() == 0 {
+		s.buckets.Remove(cur)
+	}
+	for el != nil && el.Value.(*bucket).count < newCount {
+		el = el.Next()
+	}
+	var dst *list.Element
+	if el == nil || el.Value.(*bucket).count > newCount {
+		nb := &bucket{count: newCount, items: list.New()}
+		if el == nil {
+			dst = s.buckets.PushBack(nb)
+		} else {
+			dst = s.buckets.InsertBefore(nb, el)
+		}
+	} else {
+		dst = el
+	}
+	it.bucket = dst
+	it.self = dst.Value.(*bucket).items.PushBack(it)
+}
+
+// Count returns the estimated count and error bound for key, or ok=false if
+// the key is not monitored.
+func (s *StreamSummary) Count(key string) (count, errBound uint64, ok bool) {
+	it, found := s.items[key]
+	if !found {
+		return 0, 0, false
+	}
+	return it.bucket.Value.(*bucket).count, it.err, true
+}
+
+// Top returns up to k monitored keys in descending estimated count. Ties
+// break lexicographically for determinism.
+func (s *StreamSummary) Top(k int) []Counted {
+	all := make([]Counted, 0, len(s.items))
+	for el := s.buckets.Back(); el != nil; el = el.Prev() {
+		b := el.Value.(*bucket)
+		for e := b.items.Front(); e != nil; e = e.Next() {
+			it := e.Value.(*ssItem)
+			all = append(all, Counted{Key: it.key, Count: b.count, Err: it.err})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Key < all[j].Key
+	})
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// GuaranteedTop reports whether the i-th entry of Top is guaranteed to be a
+// true top-i key (its count minus error still exceeds the (i+1)-th count),
+// following the guarantee analysis in the Space-Saving paper.
+func (s *StreamSummary) GuaranteedTop(k int) bool {
+	top := s.Top(k + 1)
+	if len(top) <= k {
+		return true // fewer distinct keys than k: everything is exact enough
+	}
+	next := top[k].Count
+	for i := 0; i < k; i++ {
+		if top[i].Count-top[i].Err < next {
+			return false
+		}
+	}
+	return true
+}
+
+// Exact counts every key exactly; its Top is the true top-k. It models the
+// "Ideal" predictor of Fig. 7 and is also used by tests as ground truth.
+type Exact struct {
+	counts map[string]uint64
+	total  uint64
+}
+
+// NewExact returns an empty exact counter.
+func NewExact() *Exact {
+	return &Exact{counts: make(map[string]uint64)}
+}
+
+// Offer records one occurrence of key.
+func (e *Exact) Offer(key string) {
+	e.counts[key]++
+	e.total++
+}
+
+// OfferN records n occurrences of key.
+func (e *Exact) OfferN(key string, n uint64) {
+	e.counts[key] += n
+	e.total += n
+}
+
+// Count returns key's exact count.
+func (e *Exact) Count(key string) uint64 { return e.counts[key] }
+
+// Total returns the number of observations.
+func (e *Exact) Total() uint64 { return e.total }
+
+// Distinct returns the number of distinct keys seen.
+func (e *Exact) Distinct() int { return len(e.counts) }
+
+// Top returns the true top-k keys in descending count, ties broken
+// lexicographically.
+func (e *Exact) Top(k int) []Counted {
+	all := make([]Counted, 0, len(e.counts))
+	for key, c := range e.counts {
+		all = append(all, Counted{Key: key, Count: c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Key < all[j].Key
+	})
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// RankedCounts returns all counts in descending order (rank-frequency data,
+// used for Fig. 3 and for Zipf-parameter estimation).
+func (e *Exact) RankedCounts() []uint64 {
+	counts := make([]uint64, 0, len(e.counts))
+	for _, c := range e.counts {
+		counts = append(counts, c)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	return counts
+}
+
+// LRU is the buffer policy of Fig. 7's LRU baseline: every arriving key is
+// admitted; if the buffer is full the least-recently-used key is evicted.
+// Touch reports whether the key was already buffered (a hit, i.e. the
+// record could be combined in memory).
+type LRU struct {
+	capacity int
+	ll       *list.List // front = most recent
+	items    map[string]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+// NewLRU returns an LRU buffer holding at most capacity keys.
+func NewLRU(capacity int) *LRU {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &LRU{capacity: capacity, ll: list.New(), items: make(map[string]*list.Element, capacity)}
+}
+
+// Touch records an access to key, admitting it if absent and evicting the
+// LRU key when over capacity. It reports whether the access was a hit.
+func (l *LRU) Touch(key string) bool {
+	if el, ok := l.items[key]; ok {
+		l.ll.MoveToFront(el)
+		l.hits++
+		return true
+	}
+	l.misses++
+	if l.ll.Len() >= l.capacity {
+		back := l.ll.Back()
+		delete(l.items, back.Value.(string))
+		l.ll.Remove(back)
+	}
+	l.items[key] = l.ll.PushFront(key)
+	return false
+}
+
+// Hits returns the number of hit accesses.
+func (l *LRU) Hits() uint64 { return l.hits }
+
+// Misses returns the number of miss accesses.
+func (l *LRU) Misses() uint64 { return l.misses }
+
+// Len returns the number of buffered keys.
+func (l *LRU) Len() int { return l.ll.Len() }

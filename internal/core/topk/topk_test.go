@@ -1,0 +1,245 @@
+package topk
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mrtext/internal/core/zipfest"
+)
+
+// zipfStream produces n keys drawn from a crude Zipf-like distribution
+// (rank r appears ~ n/r times), deterministic per seed.
+func zipfStream(seed int64, n, vocab int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, n)
+	for i := range keys {
+		// inverse-CDF of 1/r over 1..vocab, approximated
+		r := 1 + int(float64(vocab-1)*rng.Float64()*rng.Float64()*rng.Float64())
+		keys[i] = fmt.Sprintf("w%05d", r)
+	}
+	return keys
+}
+
+func TestStreamSummaryExactWhenUnderCapacity(t *testing.T) {
+	s := NewStreamSummary(100)
+	exact := NewExact()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10_000; i++ {
+		k := fmt.Sprintf("k%d", rng.Intn(50)) // 50 < capacity: all monitored
+		s.Offer(k)
+		exact.Offer(k)
+	}
+	if s.Len() != exact.Distinct() {
+		t.Fatalf("monitored %d keys, want %d", s.Len(), exact.Distinct())
+	}
+	for _, c := range exact.Top(50) {
+		count, errBound, ok := s.Count(c.Key)
+		if !ok || count != c.Count || errBound != 0 {
+			t.Errorf("key %s: summary (%d,%d,%v), exact %d", c.Key, count, errBound, ok, c.Count)
+		}
+	}
+	if !s.GuaranteedTop(10) {
+		t.Error("exact counts should guarantee the top-10")
+	}
+}
+
+// TestStreamSummaryOverestimationBound verifies the Space-Saving invariant:
+// for every monitored key, trueCount ≤ estimate and estimate − err ≤
+// trueCount.
+func TestStreamSummaryOverestimationBound(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		s := NewStreamSummary(64)
+		exact := NewExact()
+		for _, k := range zipfStream(seed, 20_000, 2000) {
+			s.Offer(k)
+			exact.Offer(k)
+		}
+		for _, c := range s.Top(64) {
+			truth := exact.Count(c.Key)
+			if truth > c.Count {
+				t.Errorf("seed %d key %s: estimate %d < true %d", seed, c.Key, c.Count, truth)
+			}
+			if c.Count-c.Err > truth {
+				t.Errorf("seed %d key %s: estimate-err %d > true %d", seed, c.Key, c.Count-c.Err, truth)
+			}
+		}
+	}
+}
+
+// TestStreamSummaryCountSumInvariant: the sum of monitored counts equals the
+// number of observations (each observation lands on exactly one counter,
+// and eviction transfers counts).
+func TestStreamSummaryCountSumInvariant(t *testing.T) {
+	s := NewStreamSummary(32)
+	stream := zipfStream(3, 5000, 500)
+	for _, k := range stream {
+		s.Offer(k)
+	}
+	var sum uint64
+	for _, c := range s.Top(32) {
+		sum += c.Count
+	}
+	if sum != uint64(len(stream)) {
+		t.Errorf("count sum %d, observed %d", sum, len(stream))
+	}
+	if s.Observed() != uint64(len(stream)) {
+		t.Errorf("Observed %d, want %d", s.Observed(), len(stream))
+	}
+}
+
+func TestStreamSummaryTopKRecall(t *testing.T) {
+	// On a Zipf(1) stream — the paper's workload — a summary with adequate
+	// capacity must recover the true heavy hitters.
+	sampler, err := zipfest.NewSampler(5000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	s := NewStreamSummary(200)
+	exact := NewExact()
+	for i := 0; i < 100_000; i++ {
+		k := fmt.Sprintf("w%05d", sampler.Rank(rng.Float64()))
+		s.Offer(k)
+		exact.Offer(k)
+	}
+	const k = 20
+	got := map[string]bool{}
+	for _, c := range s.Top(k) {
+		got[c.Key] = true
+	}
+	hits := 0
+	for _, c := range exact.Top(k) {
+		if got[c.Key] {
+			hits++
+		}
+	}
+	if hits < k*8/10 {
+		t.Errorf("recall %d/%d below 80%%", hits, k)
+	}
+}
+
+func TestStreamSummaryCapacity(t *testing.T) {
+	s := NewStreamSummary(10)
+	for i := 0; i < 1000; i++ {
+		s.Offer(fmt.Sprintf("k%d", i))
+	}
+	if s.Len() != 10 {
+		t.Errorf("monitored %d keys, capacity 10", s.Len())
+	}
+	if s.Capacity() != 10 {
+		t.Errorf("capacity %d", s.Capacity())
+	}
+	// Degenerate capacity is clamped to 1.
+	if NewStreamSummary(0).Capacity() != 1 {
+		t.Error("zero capacity not clamped")
+	}
+}
+
+func TestStreamSummaryOfferN(t *testing.T) {
+	a := NewStreamSummary(8)
+	b := NewStreamSummary(8)
+	a.OfferN("x", 5)
+	for i := 0; i < 5; i++ {
+		b.Offer("x")
+	}
+	ca, _, _ := a.Count("x")
+	cb, _, _ := b.Count("x")
+	if ca != cb || ca != 5 {
+		t.Errorf("OfferN: %d vs %d", ca, cb)
+	}
+}
+
+func TestStreamSummaryDeterministicTop(t *testing.T) {
+	run := func() []Counted {
+		s := NewStreamSummary(16)
+		for _, k := range zipfStream(4, 3000, 100) {
+			s.Offer(k)
+		}
+		return s.Top(16)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic top at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestExact(t *testing.T) {
+	e := NewExact()
+	e.Offer("a")
+	e.OfferN("b", 3)
+	e.Offer("a")
+	if e.Count("a") != 2 || e.Count("b") != 3 || e.Count("c") != 0 {
+		t.Errorf("counts: a=%d b=%d c=%d", e.Count("a"), e.Count("b"), e.Count("c"))
+	}
+	if e.Total() != 5 || e.Distinct() != 2 {
+		t.Errorf("total=%d distinct=%d", e.Total(), e.Distinct())
+	}
+	top := e.Top(1)
+	if len(top) != 1 || top[0].Key != "b" {
+		t.Errorf("top: %v", top)
+	}
+	ranked := e.RankedCounts()
+	if len(ranked) != 2 || ranked[0] != 3 || ranked[1] != 2 {
+		t.Errorf("ranked: %v", ranked)
+	}
+}
+
+func TestLRUBasics(t *testing.T) {
+	l := NewLRU(2)
+	if l.Touch("a") {
+		t.Error("first touch was a hit")
+	}
+	if !l.Touch("a") {
+		t.Error("second touch missed")
+	}
+	l.Touch("b")
+	l.Touch("c") // evicts a (LRU)
+	if l.Touch("a") {
+		t.Error("evicted key hit")
+	}
+	// now b evicted (a,c more recent... order: after c insert: [c,b]; touch a evicts b → [a,c])
+	if !l.Touch("c") {
+		t.Error("c should still be cached")
+	}
+	if l.Hits() != 2 || l.Len() != 2 {
+		t.Errorf("hits=%d len=%d", l.Hits(), l.Len())
+	}
+	if l.Misses() != 4 {
+		t.Errorf("misses=%d", l.Misses())
+	}
+}
+
+func TestLRUNeverExceedsCapacity(t *testing.T) {
+	f := func(keys []uint8) bool {
+		l := NewLRU(4)
+		for _, k := range keys {
+			l.Touch(fmt.Sprintf("k%d", k%16))
+			if l.Len() > 4 {
+				return false
+			}
+		}
+		return l.Hits()+l.Misses() == uint64(len(keys))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGuaranteedTopDetectsUncertainty(t *testing.T) {
+	// With capacity 2 and three equally frequent keys, the summary cannot
+	// guarantee a top-1.
+	s := NewStreamSummary(2)
+	for i := 0; i < 30; i++ {
+		s.Offer(fmt.Sprintf("k%d", i%3))
+	}
+	if s.GuaranteedTop(1) {
+		t.Error("guaranteed top-1 on an ambiguous stream")
+	}
+}

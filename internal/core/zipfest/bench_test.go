@@ -1,0 +1,43 @@
+package zipfest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkSamplerRank(b *testing.B) {
+	s, err := NewSampler(1_000_000, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Rank(rng.Float64())
+	}
+}
+
+func BenchmarkHarmonicLarge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Harmonic(100_000_000, 0.8)
+	}
+}
+
+func BenchmarkEstimateAlpha(b *testing.B) {
+	s, _ := NewSampler(10_000, 1.0)
+	rng := rand.New(rand.NewSource(1))
+	counts := map[int64]uint64{}
+	for i := 0; i < 200_000; i++ {
+		counts[s.Rank(rng.Float64())]++
+	}
+	flat := make([]uint64, 0, len(counts))
+	for _, c := range counts {
+		flat = append(flat, c)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateAlpha(flat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package zipfest implements the Zipfian distribution machinery behind the
+// auto-tuning profiler of §III-C: generalized harmonic numbers, Zipf
+// probability mass, log-log linear-regression estimation of the Zipf
+// parameter α from observed rank/frequency data, and the sampling-fraction
+// rule  n·s ≥ k^α · H_{m,α}  that converts the fitted α into the smallest
+// profiling fraction s expected to surface the k-th most frequent key.
+//
+// It also provides an inverse-CDF Zipf sampler over finite support that is
+// valid for any α ≥ 0 — the standard library's rand.Zipf requires s > 1,
+// but the paper's workloads use α = 0.8 (web requests, Breslau et al.) and
+// α = 1 (web graphs, Adamic & Huberman).
+package zipfest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Harmonic returns the generalized harmonic number H_{m,α} = Σ_{j=1..m} j^{-α}.
+// For large m it switches to an Euler–Maclaurin tail approximation, keeping
+// the whole computation O(min(m, cutoff)).
+func Harmonic(m int64, alpha float64) float64 {
+	if m <= 0 {
+		return 0
+	}
+	const cutoff = 1 << 20
+	if m <= cutoff {
+		return harmonicExact(m, alpha)
+	}
+	head := harmonicExact(cutoff, alpha)
+	// Euler–Maclaurin: Σ_{j=a+1..m} j^-α ≈ ∫_a^m x^-α dx + (m^-α − a^-α)/2.
+	a := float64(cutoff)
+	mf := float64(m)
+	var integral float64
+	if alpha == 1 {
+		integral = math.Log(mf) - math.Log(a)
+	} else {
+		integral = (math.Pow(mf, 1-alpha) - math.Pow(a, 1-alpha)) / (1 - alpha)
+	}
+	return head + integral + (math.Pow(mf, -alpha)-math.Pow(a, -alpha))/2
+}
+
+func harmonicExact(m int64, alpha float64) float64 {
+	var h float64
+	for j := int64(1); j <= m; j++ {
+		h += math.Pow(float64(j), -alpha)
+	}
+	return h
+}
+
+// PMF returns the Zipf probability of rank i (1-based) over support m:
+// p_i = i^{-α} / H_{m,α}.
+func PMF(i, m int64, alpha float64) float64 {
+	if i < 1 || i > m {
+		return 0
+	}
+	return math.Pow(float64(i), -alpha) / Harmonic(m, alpha)
+}
+
+// Fit is the result of estimating a Zipf law from rank/frequency data.
+type Fit struct {
+	Alpha float64 // fitted exponent (slope magnitude of the log-log fit)
+	LogC  float64 // fitted intercept: log f_i ≈ LogC − Alpha·log i
+	R2    float64 // coefficient of determination of the fit
+	N     int     // number of (rank, frequency) points used
+}
+
+// Freq returns the fitted frequency of rank i.
+func (f Fit) Freq(i int64) float64 {
+	return math.Exp(f.LogC - f.Alpha*math.Log(float64(i)))
+}
+
+// EstimateAlpha fits a Zipf law to observed key frequencies by linear
+// regression on (log rank, log frequency), exactly the estimator of §III-C:
+// log f_i = −α·log i + log C. counts need not be sorted; zero counts are
+// ignored. It returns an error if fewer than two usable points exist.
+func EstimateAlpha(counts []uint64) (Fit, error) {
+	sorted := make([]uint64, 0, len(counts))
+	for _, c := range counts {
+		if c > 0 {
+			sorted = append(sorted, c)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	if len(sorted) < 2 {
+		return Fit{}, fmt.Errorf("zipfest: need at least 2 non-zero frequencies, got %d", len(sorted))
+	}
+
+	n := float64(len(sorted))
+	var sx, sy, sxx, sxy, syy float64
+	for i, c := range sorted {
+		x := math.Log(float64(i + 1))
+		y := math.Log(float64(c))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		syy += y * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Fit{}, fmt.Errorf("zipfest: degenerate rank data (all ranks identical)")
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+
+	// R² of the regression.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i, c := range sorted {
+		x := math.Log(float64(i + 1))
+		y := math.Log(float64(c))
+		pred := intercept + slope*x
+		ssRes += (y - pred) * (y - pred)
+		ssTot += (y - meanY) * (y - meanY)
+	}
+	r2 := 0.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+
+	alpha := -slope
+	if alpha < 0 {
+		alpha = 0 // flatter than uniform never happens for real data; clamp
+	}
+	return Fit{Alpha: alpha, LogC: intercept, R2: r2, N: len(sorted)}, nil
+}
+
+// SampleFraction applies the §III-C rule: the smallest sampling fraction s
+// such that n·s ≥ k^α·H_{m,α}, i.e. the profiling prefix is expected to
+// contain at least one occurrence of the k-th most frequent key (the
+// Bernoulli-trial argument in the paper). n is the expected number of
+// map-output records, k the frequent-table capacity, m the (estimated)
+// number of distinct keys. The result is clamped to [min, max].
+func SampleFraction(n int64, k int, m int64, alpha float64, min, max float64) float64 {
+	if n <= 0 || k <= 0 || m <= 0 {
+		return max
+	}
+	if int64(k) > m {
+		k = int(m)
+	}
+	expectTrials := math.Pow(float64(k), alpha) * Harmonic(m, alpha) // 1/p_k
+	s := expectTrials / float64(n)
+	if s < min {
+		s = min
+	}
+	if s > max {
+		s = max
+	}
+	return s
+}
+
+// Sampler draws ranks from a Zipf(α) distribution over support {1..m} by
+// inverse-CDF lookup. Unlike rand.Zipf it supports any α ≥ 0 (including the
+// α ≤ 1 regimes used throughout the paper's datasets). Setup is O(m); each
+// draw is O(log m). Safe for concurrent use after construction.
+type Sampler struct {
+	m     int64
+	alpha float64
+	cdf   []float64 // cdf[i] = P(rank ≤ i+1)
+}
+
+// NewSampler builds a sampler over ranks 1..m with exponent alpha.
+func NewSampler(m int64, alpha float64) (*Sampler, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("zipfest: sampler support must be positive, got %d", m)
+	}
+	if alpha < 0 {
+		return nil, fmt.Errorf("zipfest: sampler alpha must be non-negative, got %g", alpha)
+	}
+	cdf := make([]float64, m)
+	var sum float64
+	for i := int64(0); i < m; i++ {
+		sum += math.Pow(float64(i+1), -alpha)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[m-1] = 1 // guard against rounding
+	return &Sampler{m: m, alpha: alpha, cdf: cdf}, nil
+}
+
+// Support returns the number of ranks m.
+func (s *Sampler) Support() int64 { return s.m }
+
+// Alpha returns the sampler's exponent.
+func (s *Sampler) Alpha() float64 { return s.alpha }
+
+// Rank maps a uniform variate u ∈ [0,1) to a rank in 1..m by inverting the
+// CDF.
+func (s *Sampler) Rank(u float64) int64 {
+	if u < 0 {
+		u = 0
+	}
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	idx := sort.SearchFloat64s(s.cdf, u)
+	if s.cdf[idx] == u { // SearchFloat64s returns first ≥ u; move past exact hits
+		idx++
+	}
+	if idx >= int(s.m) {
+		idx = int(s.m) - 1
+	}
+	return int64(idx) + 1
+}

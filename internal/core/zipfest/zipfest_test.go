@@ -1,0 +1,248 @@
+package zipfest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicSmall(t *testing.T) {
+	// H_{3,1} = 1 + 1/2 + 1/3
+	if got, want := Harmonic(3, 1), 1+0.5+1.0/3; math.Abs(got-want) > 1e-12 {
+		t.Errorf("H_{3,1} = %v want %v", got, want)
+	}
+	// H_{4,0} = 4 (α=0: every term is 1)
+	if got := Harmonic(4, 0); math.Abs(got-4) > 1e-12 {
+		t.Errorf("H_{4,0} = %v", got)
+	}
+	// H_{2,2} = 1 + 1/4
+	if got := Harmonic(2, 2); math.Abs(got-1.25) > 1e-12 {
+		t.Errorf("H_{2,2} = %v", got)
+	}
+	if Harmonic(0, 1) != 0 || Harmonic(-3, 1) != 0 {
+		t.Error("non-positive m should give 0")
+	}
+}
+
+func TestHarmonicLargeApproximation(t *testing.T) {
+	// The Euler–Maclaurin tail must agree with brute force within 0.01%.
+	for _, alpha := range []float64{0.5, 0.8, 1.0, 1.2} {
+		const m = 3 << 20 // beyond the exact cutoff
+		var brute float64
+		for j := int64(1); j <= m; j++ {
+			brute += math.Pow(float64(j), -alpha)
+		}
+		got := Harmonic(m, alpha)
+		if rel := math.Abs(got-brute) / brute; rel > 1e-4 {
+			t.Errorf("alpha=%g: Harmonic=%g brute=%g rel=%g", alpha, got, brute, rel)
+		}
+	}
+}
+
+func TestPMF(t *testing.T) {
+	// PMF sums to 1 over the support.
+	const m = 100
+	var sum float64
+	for i := int64(1); i <= m; i++ {
+		sum += PMF(i, m, 0.9)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PMF sums to %v", sum)
+	}
+	if PMF(0, m, 1) != 0 || PMF(m+1, m, 1) != 0 {
+		t.Error("out-of-support PMF non-zero")
+	}
+	// Monotone decreasing in rank.
+	if PMF(1, m, 0.8) <= PMF(2, m, 0.8) {
+		t.Error("PMF not decreasing")
+	}
+}
+
+func TestEstimateAlphaRecoversTrueExponent(t *testing.T) {
+	// Feed exact Zipfian frequencies: the regression must recover α almost
+	// perfectly.
+	for _, alpha := range []float64{0.5, 0.8, 1.0, 1.5} {
+		counts := make([]uint64, 2000)
+		for i := range counts {
+			counts[i] = uint64(1e9 * math.Pow(float64(i+1), -alpha))
+		}
+		fit, err := EstimateAlpha(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fit.Alpha-alpha) > 0.02 {
+			t.Errorf("alpha=%g: fitted %g", alpha, fit.Alpha)
+		}
+		if fit.R2 < 0.999 {
+			t.Errorf("alpha=%g: R²=%g", alpha, fit.R2)
+		}
+		// Fitted frequency at rank 1 should approximate the input.
+		if rel := math.Abs(fit.Freq(1)-float64(counts[0])) / float64(counts[0]); rel > 0.1 {
+			t.Errorf("alpha=%g: Freq(1)=%g vs %d", alpha, fit.Freq(1), counts[0])
+		}
+	}
+}
+
+func TestEstimateAlphaOnSampledData(t *testing.T) {
+	// Frequencies from actual sampling still fit within a loose tolerance.
+	s, err := NewSampler(5000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	counts := map[int64]uint64{}
+	for i := 0; i < 200_000; i++ {
+		counts[s.Rank(rng.Float64())]++
+	}
+	flat := make([]uint64, 0, len(counts))
+	for _, c := range counts {
+		flat = append(flat, c)
+	}
+	fit, err := EstimateAlpha(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampling truncates the tail (unseen ranks), which biases the log-log
+	// slope; accept a generous band around the true α=1.
+	if fit.Alpha < 0.6 || fit.Alpha > 1.3 {
+		t.Errorf("fitted alpha %g far from 1.0", fit.Alpha)
+	}
+}
+
+func TestEstimateAlphaDegenerate(t *testing.T) {
+	if _, err := EstimateAlpha(nil); err == nil {
+		t.Error("nil counts accepted")
+	}
+	if _, err := EstimateAlpha([]uint64{5}); err == nil {
+		t.Error("single count accepted")
+	}
+	if _, err := EstimateAlpha([]uint64{0, 0, 7}); err == nil {
+		t.Error("single non-zero count accepted")
+	}
+	// Uniform distribution fits α≈0 (clamped non-negative).
+	fit, err := EstimateAlpha([]uint64{10, 10, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Alpha != 0 {
+		t.Errorf("uniform alpha = %g", fit.Alpha)
+	}
+}
+
+func TestSampleFraction(t *testing.T) {
+	// The rule: s ≥ k^α·H_{m,α}/n. For n = 10·k^α·H the fraction is 0.1.
+	k, m, alpha := 1000, int64(100_000), 0.9
+	need := math.Pow(float64(k), alpha) * Harmonic(m, alpha)
+	n := int64(10 * need)
+	got := SampleFraction(n, k, m, alpha, 0.001, 0.9)
+	if math.Abs(got-0.1) > 0.01 {
+		t.Errorf("SampleFraction = %g, want ≈0.1", got)
+	}
+	// Clamping.
+	if got := SampleFraction(n, k, m, alpha, 0.2, 0.9); got != 0.2 {
+		t.Errorf("min clamp: %g", got)
+	}
+	if got := SampleFraction(100, k, m, alpha, 0.001, 0.5); got != 0.5 {
+		t.Errorf("max clamp: %g", got)
+	}
+	// Degenerate inputs fall back to max.
+	if got := SampleFraction(0, k, m, alpha, 0.001, 0.5); got != 0.5 {
+		t.Errorf("degenerate n: %g", got)
+	}
+	// k beyond the support is clamped to m.
+	if got := SampleFraction(1<<40, int(m)*2, m, alpha, 0.0001, 0.9); got <= 0 || got > 0.9 {
+		t.Errorf("k>m: %g", got)
+	}
+}
+
+func TestSampleFractionMonotoneInK(t *testing.T) {
+	// More frequent keys to find → longer profiling.
+	prev := 0.0
+	for _, k := range []int{10, 100, 1000, 10000} {
+		s := SampleFraction(1_000_000_000, k, 100_000, 1.0, 1e-9, 1)
+		if s < prev {
+			t.Errorf("SampleFraction not monotone at k=%d: %g < %g", k, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestSamplerValidation(t *testing.T) {
+	if _, err := NewSampler(0, 1); err == nil {
+		t.Error("zero support accepted")
+	}
+	if _, err := NewSampler(10, -1); err == nil {
+		t.Error("negative alpha accepted")
+	}
+}
+
+func TestSamplerBoundaries(t *testing.T) {
+	s, err := NewSampler(100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Rank(0); r != 1 {
+		t.Errorf("Rank(0) = %d", r)
+	}
+	if r := s.Rank(math.Nextafter(1, 0)); r != 100 {
+		t.Errorf("Rank(1-ε) = %d", r)
+	}
+	if r := s.Rank(-0.5); r != 1 {
+		t.Errorf("Rank(-0.5) = %d", r)
+	}
+	if r := s.Rank(2); r != 100 {
+		t.Errorf("Rank(2) = %d", r)
+	}
+	if s.Support() != 100 || s.Alpha() != 1.0 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestSamplerRanksAlwaysInSupport(t *testing.T) {
+	s, err := NewSampler(50, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(u float64) bool {
+		r := s.Rank(math.Abs(math.Mod(u, 1)))
+		return r >= 1 && r <= 50
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplerMatchesPMF(t *testing.T) {
+	// Empirical frequencies of the top ranks must match the analytic PMF.
+	const m, alpha, n = 1000, 0.8, 500_000
+	s, err := NewSampler(m, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	counts := make([]int, m+1)
+	for i := 0; i < n; i++ {
+		counts[s.Rank(rng.Float64())]++
+	}
+	for _, rank := range []int64{1, 2, 10, 100} {
+		want := PMF(rank, m, alpha)
+		got := float64(counts[rank]) / n
+		if math.Abs(got-want)/want > 0.1 {
+			t.Errorf("rank %d: empirical %g vs PMF %g", rank, got, want)
+		}
+	}
+}
+
+func TestSamplerAlphaZeroIsUniform(t *testing.T) {
+	s, err := NewSampler(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quartile boundaries map to each rank.
+	for i, u := range []float64{0.1, 0.3, 0.6, 0.9} {
+		if r := s.Rank(u); r != int64(i+1) {
+			t.Errorf("u=%g: rank %d want %d", u, r, i+1)
+		}
+	}
+}

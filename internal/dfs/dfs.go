@@ -1,0 +1,385 @@
+// Package dfs implements the distributed-filesystem substrate the jobs read
+// their input from and write their output to — a miniature HDFS: files are
+// split into fixed-size blocks, each block is replicated onto the local
+// disks of `replication` distinct nodes (placed round-robin), and readers
+// prefer a local replica, paying a fabric transfer for remote blocks.
+//
+// Block locations drive the runtime's input-split placement, so map tasks
+// are data-local exactly as in Hadoop, and final job output lands on the
+// reducer's node first — the properties the paper's cluster experiments
+// assume.
+package dfs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"mrtext/internal/fabric"
+	"mrtext/internal/vdisk"
+)
+
+// BlockInfo describes one block of a file.
+type BlockInfo struct {
+	Index    int
+	Offset   int64 // byte offset of the block within the file
+	Len      int64
+	Replicas []int // node ids holding a copy, primary first
+}
+
+type fileMeta struct {
+	blocks []BlockInfo
+	size   int64
+	sealed bool
+}
+
+// DFS is the filesystem. Safe for concurrent use.
+type DFS struct {
+	disks       []vdisk.Disk
+	net         *fabric.Fabric
+	blockSize   int64
+	replication int
+
+	mu      sync.Mutex
+	files   map[string]*fileMeta
+	nextPri int // round-robin primary placement cursor
+}
+
+// New creates a DFS over the given per-node disks. net may be nil, in
+// which case remote reads are uncharged (single-node setups).
+func New(disks []vdisk.Disk, net *fabric.Fabric, blockSize int64, replication int) (*DFS, error) {
+	if len(disks) == 0 {
+		return nil, fmt.Errorf("dfs: need at least one node disk")
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("dfs: block size must be positive, got %d", blockSize)
+	}
+	if replication <= 0 {
+		replication = 1
+	}
+	if replication > len(disks) {
+		replication = len(disks)
+	}
+	return &DFS{
+		disks:       disks,
+		net:         net,
+		blockSize:   blockSize,
+		replication: replication,
+		files:       make(map[string]*fileMeta),
+	}, nil
+}
+
+// Nodes returns the number of storage nodes.
+func (d *DFS) Nodes() int { return len(d.disks) }
+
+// BlockSize returns the block size.
+func (d *DFS) BlockSize() int64 { return d.blockSize }
+
+func blockName(file string, idx, replica int) string {
+	return fmt.Sprintf("dfs/%s/blk%06d/r%d", file, idx, replica)
+}
+
+// Create opens a new file for writing from the given node. The primary
+// replica of each block is placed round-robin starting near the writer.
+func (d *DFS) Create(name string, writerNode int) (io.WriteCloser, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[name]; ok {
+		return nil, fmt.Errorf("dfs: %w: %s", vdisk.ErrExist, name)
+	}
+	d.files[name] = &fileMeta{}
+	return &writer{dfs: d, name: name, node: writerNode}, nil
+}
+
+// writer buffers up to one block and seals blocks as they fill.
+type writer struct {
+	dfs    *DFS
+	name   string
+	node   int
+	buf    []byte
+	closed bool
+	err    error
+}
+
+func (w *writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, vdisk.ErrClosed
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	n := len(p)
+	for len(p) > 0 {
+		space := int(w.dfs.blockSize) - len(w.buf)
+		take := len(p)
+		if take > space {
+			take = space
+		}
+		w.buf = append(w.buf, p[:take]...)
+		p = p[take:]
+		if int64(len(w.buf)) == w.dfs.blockSize {
+			if err := w.seal(); err != nil {
+				w.err = err
+				return n - len(p), err
+			}
+		}
+	}
+	return n, nil
+}
+
+// seal writes the buffered block to its replica disks and records it.
+func (w *writer) seal() error {
+	d := w.dfs
+	d.mu.Lock()
+	meta := d.files[w.name]
+	idx := len(meta.blocks)
+	// Primary on the writer's node (data locality for output), remaining
+	// replicas round-robin.
+	replicas := make([]int, 0, d.replication)
+	primary := w.node
+	if primary < 0 || primary >= len(d.disks) {
+		primary = d.nextPri % len(d.disks)
+	}
+	replicas = append(replicas, primary)
+	cursor := d.nextPri
+	for len(replicas) < d.replication {
+		cand := cursor % len(d.disks)
+		cursor++
+		dup := false
+		for _, r := range replicas {
+			if r == cand {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			replicas = append(replicas, cand)
+		}
+	}
+	d.nextPri = cursor + 1
+	info := BlockInfo{Index: idx, Offset: meta.size, Len: int64(len(w.buf)), Replicas: replicas}
+	meta.blocks = append(meta.blocks, info)
+	meta.size += info.Len
+	d.mu.Unlock()
+
+	for ri, node := range replicas {
+		f, err := d.disks[node].Create(blockName(w.name, idx, ri))
+		if err != nil {
+			return fmt.Errorf("dfs: sealing block %d of %s: %w", idx, w.name, err)
+		}
+		if _, err := f.Write(w.buf); err != nil {
+			f.Close()
+			return fmt.Errorf("dfs: writing block %d of %s: %w", idx, w.name, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("dfs: closing block %d of %s: %w", idx, w.name, err)
+		}
+		// Replica placement crosses the network.
+		if ri > 0 && d.net != nil {
+			if err := d.net.Transfer(w.node, node, info.Len); err != nil {
+				return err
+			}
+		}
+	}
+	w.buf = w.buf[:0]
+	return nil
+}
+
+func (w *writer) Close() error {
+	if w.closed {
+		return vdisk.ErrClosed
+	}
+	if len(w.buf) > 0 {
+		if err := w.seal(); err != nil {
+			return err
+		}
+	}
+	w.closed = true
+	w.dfs.mu.Lock()
+	w.dfs.files[w.name].sealed = true
+	w.dfs.mu.Unlock()
+	return w.err
+}
+
+// Blocks returns the block layout of a sealed file.
+func (d *DFS) Blocks(name string) ([]BlockInfo, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	meta, ok := d.files[name]
+	if !ok || !meta.sealed {
+		return nil, fmt.Errorf("dfs: %w: %s", vdisk.ErrNotExist, name)
+	}
+	out := make([]BlockInfo, len(meta.blocks))
+	copy(out, meta.blocks)
+	return out, nil
+}
+
+// Size returns the byte size of a sealed file.
+func (d *DFS) Size(name string) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	meta, ok := d.files[name]
+	if !ok || !meta.sealed {
+		return 0, fmt.Errorf("dfs: %w: %s", vdisk.ErrNotExist, name)
+	}
+	return meta.size, nil
+}
+
+// Exists reports whether a sealed file exists.
+func (d *DFS) Exists(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	meta, ok := d.files[name]
+	return ok && meta.sealed
+}
+
+// Remove deletes a sealed file and its blocks.
+func (d *DFS) Remove(name string) error {
+	d.mu.Lock()
+	meta, ok := d.files[name]
+	if !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("dfs: %w: %s", vdisk.ErrNotExist, name)
+	}
+	delete(d.files, name)
+	blocks := meta.blocks
+	d.mu.Unlock()
+	for _, b := range blocks {
+		for ri, node := range b.Replicas {
+			_ = d.disks[node].Remove(blockName(name, b.Index, ri))
+		}
+	}
+	return nil
+}
+
+// OpenFrom opens the file for sequential reading from byte offset off, as
+// seen by readerNode: each block is served from a local replica when one
+// exists, otherwise from the nearest replica across the fabric.
+func (d *DFS) OpenFrom(name string, readerNode int, off int64) (io.ReadCloser, error) {
+	blocks, err := d.Blocks(name)
+	if err != nil {
+		return nil, err
+	}
+	return &reader{dfs: d, name: name, node: readerNode, blocks: blocks, off: off}, nil
+}
+
+// reader streams a file block by block.
+type reader struct {
+	dfs    *DFS
+	name   string
+	node   int
+	blocks []BlockInfo
+	off    int64
+	cur    io.ReadCloser
+	curEnd int64 // file offset where the current block stream ends
+	closed bool
+}
+
+func (r *reader) Read(p []byte) (int, error) {
+	if r.closed {
+		return 0, vdisk.ErrClosed
+	}
+	for {
+		if r.cur != nil {
+			n, err := r.cur.Read(p)
+			r.off += int64(n)
+			if err == io.EOF {
+				r.cur.Close()
+				r.cur = nil
+				if n > 0 {
+					return n, nil
+				}
+				continue
+			}
+			return n, err
+		}
+		// Find the block containing r.off.
+		var blk *BlockInfo
+		for i := range r.blocks {
+			b := &r.blocks[i]
+			if r.off >= b.Offset && r.off < b.Offset+b.Len {
+				blk = b
+				break
+			}
+		}
+		if blk == nil {
+			return 0, io.EOF
+		}
+		within := r.off - blk.Offset
+		src, replica := r.pickReplica(blk)
+		rc, err := r.dfs.disks[src].OpenSection(blockName(r.name, blk.Index, replica), within, blk.Len-within)
+		if err != nil {
+			return 0, fmt.Errorf("dfs: opening block %d of %s: %w", blk.Index, r.name, err)
+		}
+		if src != r.node && r.dfs.net != nil {
+			rc = &chargedReader{rc: rc, net: r.dfs.net, src: src, dst: r.node}
+		}
+		r.cur = rc
+		r.curEnd = blk.Offset + blk.Len
+	}
+}
+
+// pickReplica chooses the replica to read: local if available, else the
+// primary. It returns the node and the replica index on that node.
+func (r *reader) pickReplica(b *BlockInfo) (node, replica int) {
+	for ri, n := range b.Replicas {
+		if n == r.node {
+			return n, ri
+		}
+	}
+	return b.Replicas[0], 0
+}
+
+func (r *reader) Close() error {
+	if r.closed {
+		return vdisk.ErrClosed
+	}
+	r.closed = true
+	if r.cur != nil {
+		return r.cur.Close()
+	}
+	return nil
+}
+
+// chargedReader meters remote block reads through the fabric.
+type chargedReader struct {
+	rc  io.ReadCloser
+	net *fabric.Fabric
+	src int
+	dst int
+}
+
+func (c *chargedReader) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	if n > 0 {
+		if terr := c.net.Transfer(c.src, c.dst, int64(n)); terr != nil && err == nil {
+			err = terr
+		}
+	}
+	return n, err
+}
+
+func (c *chargedReader) Close() error { return c.rc.Close() }
+
+// WriteFile is a convenience that writes data as one DFS file from node 0.
+func (d *DFS) WriteFile(name string, data []byte) error {
+	w, err := d.Create(name, 0)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// ReadFile is a convenience that reads a whole DFS file from node 0.
+func (d *DFS) ReadFile(name string) ([]byte, error) {
+	r, err := d.OpenFrom(name, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return io.ReadAll(r)
+}

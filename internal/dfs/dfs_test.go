@@ -1,0 +1,291 @@
+package dfs
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mrtext/internal/fabric"
+	"mrtext/internal/vdisk"
+)
+
+func newDFS(t *testing.T, nodes int, blockSize int64, replication int) (*DFS, []vdisk.Disk) {
+	t.Helper()
+	disks := make([]vdisk.Disk, nodes)
+	for i := range disks {
+		disks[i] = vdisk.NewMem()
+	}
+	net, err := fabric.New(nodes, fabric.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(disks, net, blockSize, replication)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, disks
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, 1024, 1); err == nil {
+		t.Error("no disks accepted")
+	}
+	if _, err := New([]vdisk.Disk{vdisk.NewMem()}, nil, 0, 1); err == nil {
+		t.Error("zero block size accepted")
+	}
+	// Replication above the node count is clamped, not an error.
+	d, err := New([]vdisk.Disk{vdisk.NewMem()}, nil, 1024, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteFile("f", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := d.Blocks("f")
+	if len(blocks[0].Replicas) != 1 {
+		t.Errorf("replicas %v on a 1-node DFS", blocks[0].Replicas)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d, _ := newDFS(t, 3, 100, 2)
+	data := bytes.Repeat([]byte("0123456789"), 35) // 350 bytes → 4 blocks
+	if err := d.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("round trip mismatch")
+	}
+	size, err := d.Size("f")
+	if err != nil || size != int64(len(data)) {
+		t.Errorf("size %d err %v", size, err)
+	}
+	blocks, err := d.Blocks("f")
+	if err != nil || len(blocks) != 4 {
+		t.Fatalf("blocks %v err %v", blocks, err)
+	}
+	if blocks[3].Len != 50 {
+		t.Errorf("final block len %d", blocks[3].Len)
+	}
+	for i, b := range blocks {
+		if b.Index != i || len(b.Replicas) != 2 || b.Replicas[0] == b.Replicas[1] {
+			t.Errorf("block %d: %+v", i, b)
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(raw []byte, blockRaw uint8) bool {
+		blockSize := int64(blockRaw%64) + 1
+		d, _ := newDFS(t, 2, blockSize, 1)
+		if err := d.WriteFile("f", raw); err != nil {
+			return false
+		}
+		got, err := d.ReadFile("f")
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpenFromOffsets(t *testing.T) {
+	d, _ := newDFS(t, 3, 16, 1)
+	data := []byte("The quick brown fox jumps over the lazy dog and runs away")
+	if err := d.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		off := int64(rng.Intn(len(data) + 1))
+		for node := 0; node < 3; node++ {
+			r, err := d.OpenFrom("f", node, off)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := io.ReadAll(r)
+			r.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data[off:]) {
+				t.Fatalf("offset %d node %d: got %q want %q", off, node, got, data[off:])
+			}
+		}
+	}
+}
+
+func TestReadCrossesBlocks(t *testing.T) {
+	d, _ := newDFS(t, 2, 8, 1)
+	data := bytes.Repeat([]byte("abcdefgh"), 10)
+	if err := d.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.OpenFrom("f", 0, 4) // mid-block start
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// Read in odd-sized chunks to force block transitions mid-Read.
+	var got []byte
+	buf := make([]byte, 13)
+	for {
+		n, err := r.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, data[4:]) {
+		t.Error("cross-block read mismatch")
+	}
+}
+
+func TestMissingAndUnsealed(t *testing.T) {
+	d, _ := newDFS(t, 2, 64, 1)
+	if _, err := d.Blocks("missing"); err == nil {
+		t.Error("blocks of missing file")
+	}
+	if _, err := d.OpenFrom("missing", 0, 0); err == nil {
+		t.Error("open of missing file")
+	}
+	if d.Exists("missing") {
+		t.Error("missing file exists")
+	}
+	w, err := d.Create("pending", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write([]byte("x"))
+	if d.Exists("pending") {
+		t.Error("unsealed file exists")
+	}
+	if _, err := d.OpenFrom("pending", 0, 0); err == nil {
+		t.Error("opened unsealed file")
+	}
+	w.Close()
+	if !d.Exists("pending") {
+		t.Error("sealed file missing")
+	}
+	// Duplicate create.
+	if _, err := d.Create("pending", 0); err == nil {
+		t.Error("duplicate create accepted")
+	}
+}
+
+func TestRemoveCleansBlocks(t *testing.T) {
+	d, disks := newDFS(t, 2, 16, 2)
+	if err := d.WriteFile("f", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Remove("f"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Exists("f") {
+		t.Error("file exists after remove")
+	}
+	for i, disk := range disks {
+		if files := disk.(*vdisk.Mem).List(); len(files) != 0 {
+			t.Errorf("node %d still holds blocks: %v", i, files)
+		}
+	}
+	if err := d.Remove("f"); err == nil {
+		t.Error("double remove accepted")
+	}
+}
+
+func TestLocalReplicaPreferred(t *testing.T) {
+	// Reading from a node that holds a replica must not touch the fabric.
+	disks := []vdisk.Disk{vdisk.NewMem(), vdisk.NewMem(), vdisk.NewMem()}
+	net, _ := fabric.New(3, fabric.Config{})
+	d, err := New(disks, net, 1<<10, 3) // replicate everywhere
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteFile("f", make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	before := net.Stats().BytesMoved
+	for node := 0; node < 3; node++ {
+		r, err := d.OpenFrom("f", node, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r)
+		r.Close()
+	}
+	if moved := net.Stats().BytesMoved - before; moved != 0 {
+		t.Errorf("local reads moved %d bytes across the fabric", moved)
+	}
+}
+
+func TestRemoteReadCharged(t *testing.T) {
+	disks := []vdisk.Disk{vdisk.NewMem(), vdisk.NewMem()}
+	net, _ := fabric.New(2, fabric.Config{})
+	d, err := New(disks, net, 1<<10, 1) // single replica
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteFile("f", make([]byte, 3000)); err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := d.Blocks("f")
+	// Find a node that holds nothing of block 0.
+	remote := 1 - blocks[0].Replicas[0]
+	// Read everything from the remote node: at least the non-local blocks
+	// must be charged.
+	r, err := d.OpenFrom("f", remote, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r)
+	r.Close()
+	if net.Stats().BytesMoved == 0 {
+		t.Error("remote read not charged through the fabric")
+	}
+}
+
+func TestWriterPrimaryPlacement(t *testing.T) {
+	d, _ := newDFS(t, 4, 32, 2)
+	w, err := d.Create("f", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write(make([]byte, 100))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := d.Blocks("f")
+	for _, b := range blocks {
+		if b.Replicas[0] != 2 {
+			t.Errorf("block %d primary %d, want writer node 2", b.Index, b.Replicas[0])
+		}
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	d, _ := newDFS(t, 2, 64, 1)
+	if err := d.WriteFile("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadFile("empty")
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty file: %q err %v", got, err)
+	}
+	blocks, _ := d.Blocks("empty")
+	if len(blocks) != 0 {
+		t.Errorf("empty file has %d blocks", len(blocks))
+	}
+}

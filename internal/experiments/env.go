@@ -1,0 +1,281 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§II profiling + §V experiments) on the simulated cluster.
+// Each experiment is a function from an Env (scale, cluster shape, output
+// writer) to a printed table plus structured rows; cmd/mrbench exposes
+// them by id and bench_test.go wraps them as benchmarks.
+//
+// Scale note: the paper runs 8–145 GB inputs on physical clusters; the
+// default Env scales everything down (~16 MiB corpus) so a full table
+// regenerates in minutes on one machine. Because both optimizations act on
+// per-task pipeline behaviour and intermediate-data volume, the *shape* of
+// every result — which configuration wins, roughly by what factor, where
+// the crossovers fall — is preserved; absolute seconds are not comparable.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mrtext/internal/apps"
+	"mrtext/internal/cluster"
+	"mrtext/internal/mr"
+	"mrtext/internal/textgen"
+)
+
+// Env parameterizes an experiment run.
+type Env struct {
+	// Scale multiplies every dataset size (1.0 = defaults below).
+	Scale float64
+	// Cluster is the cluster shape; zero value means the paper's local
+	// cluster.
+	Cluster cluster.Config
+	// POSIterations is WordPOSTag's CPU-intensity knob, scaled down from
+	// the paper's OpenNLP cost so the experiment completes in minutes.
+	POSIterations int
+	// SpillBufferBytes is the map-side buffer M for all jobs.
+	SpillBufferBytes int64
+	// Seed offsets all generator seeds.
+	Seed int64
+	// Out receives the printed tables (defaults to io.Discard).
+	Out io.Writer
+}
+
+// Default dataset sizes at Scale = 1.
+const (
+	defCorpusBytes = 16 << 20
+	defVisitBytes  = 24 << 20
+	defGraphPages  = 40_000
+	defVocabulary  = 120_000
+	defURLs        = 40_000
+)
+
+// DefaultEnv returns the standard experiment environment: the paper's
+// local-cluster shape at reproduction scale.
+func DefaultEnv() Env {
+	return Env{
+		Scale:            1,
+		Cluster:          cluster.LocalSmall(),
+		POSIterations:    8,
+		SpillBufferBytes: 2 << 20,
+		Seed:             1,
+		Out:              io.Discard,
+	}
+}
+
+func (e Env) withDefaults() Env {
+	if e.Scale <= 0 {
+		e.Scale = 1
+	}
+	if e.Cluster.Nodes == 0 {
+		e.Cluster = cluster.LocalSmall()
+	}
+	if e.POSIterations <= 0 {
+		e.POSIterations = 8
+	}
+	if e.SpillBufferBytes <= 0 {
+		e.SpillBufferBytes = 2 << 20
+	}
+	if e.Out == nil {
+		e.Out = io.Discard
+	}
+	return e
+}
+
+func (e Env) printf(format string, args ...interface{}) {
+	fmt.Fprintf(e.Out, format, args...)
+}
+
+func (e Env) corpusBytes() int64 { return int64(float64(defCorpusBytes) * e.Scale) }
+func (e Env) visitBytes() int64  { return int64(float64(defVisitBytes) * e.Scale) }
+func (e Env) graphPages() int64  { return int64(float64(defGraphPages) * e.Scale) }
+
+// AppID identifies one benchmark application.
+type AppID string
+
+// The six applications of §II-B.
+const (
+	WordCount     AppID = "WordCount"
+	InvertedIndex AppID = "InvertedIndex"
+	WordPOSTag    AppID = "WordPOSTag"
+	AccessLogSum  AppID = "AccessLogSum"
+	AccessLogJoin AppID = "AccessLogJoin"
+	PageRank      AppID = "PageRank"
+)
+
+// AllApps lists the applications in the paper's presentation order.
+var AllApps = []AppID{WordCount, InvertedIndex, WordPOSTag, AccessLogSum, AccessLogJoin, PageRank}
+
+// TextApps are the three text-centric applications.
+var TextApps = []AppID{WordCount, InvertedIndex, WordPOSTag}
+
+// Variant is one of the four test scenarios of §V.
+type Variant string
+
+// The four configurations of Table III.
+const (
+	Baseline Variant = "Baseline"
+	FreqOpt  Variant = "FreqOpt"
+	SpillOpt Variant = "SpillOpt"
+	Combined Variant = "Combined"
+)
+
+// AllVariants in the paper's row order.
+var AllVariants = []Variant{Baseline, FreqOpt, SpillOpt, Combined}
+
+// Data names the generated datasets on one cluster.
+type Data struct {
+	Corpus     string
+	Visits     string
+	Rankings   string
+	Graph      string
+	GraphPages int64
+}
+
+// needs flags which datasets an experiment requires.
+type needs struct{ corpus, logs, graph bool }
+
+// setup builds a cluster from the environment and generates the requested
+// datasets into its DFS.
+func setup(env Env, n needs) (*cluster.Cluster, Data, error) {
+	c, err := cluster.New(env.Cluster)
+	if err != nil {
+		return nil, Data{}, err
+	}
+	d := Data{}
+	if n.corpus {
+		d.Corpus = "corpus.txt"
+		cfg := textgen.CorpusConfig{Vocabulary: defVocabulary, Alpha: 1.0, WordsPerLine: 10, Seed: env.Seed + 10}
+		if err := gen(c, d.Corpus, func(w io.Writer) error {
+			_, err := textgen.Corpus(w, cfg, env.corpusBytes())
+			return err
+		}); err != nil {
+			return nil, Data{}, fmt.Errorf("experiments: generating corpus: %w", err)
+		}
+	}
+	if n.logs {
+		d.Visits, d.Rankings = "uservisits.log", "rankings.tbl"
+		cfg := textgen.LogConfig{URLs: defURLs, Alpha: 0.8, Seed: env.Seed + 20}
+		if err := gen(c, d.Visits, func(w io.Writer) error {
+			_, err := textgen.UserVisits(w, cfg, env.visitBytes())
+			return err
+		}); err != nil {
+			return nil, Data{}, fmt.Errorf("experiments: generating visits: %w", err)
+		}
+		if err := gen(c, d.Rankings, func(w io.Writer) error {
+			_, err := textgen.Rankings(w, cfg)
+			return err
+		}); err != nil {
+			return nil, Data{}, fmt.Errorf("experiments: generating rankings: %w", err)
+		}
+	}
+	if n.graph {
+		d.Graph = "crawl.tsv"
+		d.GraphPages = env.graphPages()
+		cfg := textgen.GraphConfig{Pages: d.GraphPages, Alpha: 1.0, MeanOutDegree: 8, Seed: env.Seed + 30}
+		if err := gen(c, d.Graph, func(w io.Writer) error {
+			_, err := textgen.WebGraph(w, cfg)
+			return err
+		}); err != nil {
+			return nil, Data{}, fmt.Errorf("experiments: generating graph: %w", err)
+		}
+	}
+	return c, d, nil
+}
+
+func gen(c *cluster.Cluster, name string, fill func(io.Writer) error) error {
+	w, err := c.FS.Create(name, 0)
+	if err != nil {
+		return err
+	}
+	if err := fill(w); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// appNeeds returns the datasets an application requires.
+func appNeeds(app AppID) needs {
+	switch app {
+	case WordCount, InvertedIndex, WordPOSTag:
+		return needs{corpus: true}
+	case AccessLogSum, AccessLogJoin:
+		return needs{logs: true}
+	case PageRank:
+		return needs{graph: true}
+	}
+	return needs{}
+}
+
+// mergeNeeds unions dataset requirements.
+func mergeNeeds(apps []AppID) needs {
+	var n needs
+	for _, a := range apps {
+		an := appNeeds(a)
+		n.corpus = n.corpus || an.corpus
+		n.logs = n.logs || an.logs
+		n.graph = n.graph || an.graph
+	}
+	return n
+}
+
+// makeJob builds the job spec for an application under a variant.
+func makeJob(env Env, d Data, app AppID, v Variant) (*mr.Job, error) {
+	var job *mr.Job
+	switch app {
+	case WordCount:
+		job = apps.WordCount(d.Corpus)
+	case InvertedIndex:
+		job = apps.InvertedIndex(d.Corpus)
+	case WordPOSTag:
+		job = apps.WordPOSTag(env.POSIterations, d.Corpus)
+	case AccessLogSum:
+		job = apps.AccessLogSum(d.Visits)
+	case AccessLogJoin:
+		job = apps.AccessLogJoin(d.Visits, d.Rankings)
+	case PageRank:
+		job = apps.PageRank(d.Graph, d.GraphPages)
+	default:
+		return nil, fmt.Errorf("experiments: unknown app %q", app)
+	}
+	job.Name = fmt.Sprintf("%s-%s", job.Name, v)
+	job.SpillBufferBytes = env.SpillBufferBytes
+	applyVariant(job, app, v)
+	return job, nil
+}
+
+// applyVariant flips the optimization switches per the paper's settings:
+// text applications use the k=3000/s=0.01 frequency-buffering parameters,
+// log/graph applications k=10000/s=0.1 (§V-B2).
+func applyVariant(job *mr.Job, app AppID, v Variant) {
+	freq := v == FreqOpt || v == Combined
+	spill := v == SpillOpt || v == Combined
+	if freq {
+		switch app {
+		case WordCount, InvertedIndex, WordPOSTag:
+			job.FreqBuf = mr.DefaultFreqBufText()
+		default:
+			job.FreqBuf = mr.DefaultFreqBufLog()
+		}
+	}
+	job.SpillMatcher = spill
+}
+
+// timed runs one job and returns its result.
+func timed(c *cluster.Cluster, job *mr.Job) (*mr.Result, error) {
+	return mr.Run(c, job)
+}
+
+// seconds renders a duration with 2 decimals.
+func seconds(d time.Duration) string {
+	return fmt.Sprintf("%.2fs", d.Seconds())
+}
+
+// pct renders new/old as the paper does ("78.4%"), guarding zero.
+func pct(new, old time.Duration) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(new)/float64(old))
+}

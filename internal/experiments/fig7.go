@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"mrtext/internal/core/topk"
+	"mrtext/internal/core/zipfest"
+	"mrtext/internal/textgen"
+)
+
+// Fig7Point is one (predictor, buffer size) measurement: the fraction of
+// intermediate records a frequent-key buffer of that size absorbs.
+type Fig7Point struct {
+	Input     string // "text" or "log"
+	Predictor string // "freqbuf", "ideal", "lru"
+	K         int
+	Removed   float64 // fraction of all records absorbed (combined in memory)
+}
+
+// Fig7Result is the full sweep behind Fig. 7.
+type Fig7Result struct {
+	Points []Fig7Point
+	// Records is the stream length simulated per input.
+	Records int
+}
+
+// fig7Sizes is the buffer-size sweep (number of frequent keys tracked).
+var fig7Sizes = []int{250, 500, 1000, 2000, 4000, 8000, 16000}
+
+// RunFig7 reproduces Fig. 7: the percentage of intermediate data removed
+// by the frequent-key buffer as a function of buffer size, comparing the
+// paper's predictor (Space-Saving profiling over the first s=0.1 of the
+// stream) against the Ideal oracle and an LRU buffer, on both the text
+// corpus distribution (Zipf α≈1) and the access-log URL distribution
+// (Zipf α=0.8).
+func RunFig7(env Env) (*Fig7Result, error) {
+	env = env.withDefaults()
+	records := int(1_000_000 * env.Scale)
+	if records < 50_000 {
+		records = 50_000
+	}
+	out := &Fig7Result{Records: records}
+
+	inputs := []struct {
+		name  string
+		vocab int64
+		alpha float64
+		seed  int64
+	}{
+		{"text", defVocabulary, 1.0, env.Seed + 100},
+		{"log", defURLs, 0.8, env.Seed + 200},
+	}
+	const sampleFraction = 0.1 // the paper sets s = 0.1 for this figure
+
+	for _, in := range inputs {
+		sampler, err := zipfest.NewSampler(in.vocab, in.alpha)
+		if err != nil {
+			return nil, err
+		}
+		// Materialize the key stream once so all predictors see the same
+		// records.
+		rng := rand.New(rand.NewSource(in.seed))
+		stream := make([]int64, records)
+		for i := range stream {
+			stream[i] = sampler.Rank(rng.Float64())
+		}
+
+		for _, k := range fig7Sizes {
+			out.Points = append(out.Points,
+				fig7FreqBuf(in.name, stream, k, sampleFraction),
+				fig7Ideal(in.name, stream, k),
+				fig7LRU(in.name, stream, k),
+			)
+		}
+	}
+	printFig7(env, out)
+	return out, nil
+}
+
+// fig7FreqBuf simulates the paper's predictor: Space-Saving over the first
+// s·n records (standard path, nothing removed), then a frozen top-k table
+// absorbing matching records.
+func fig7FreqBuf(input string, stream []int64, k int, s float64) Fig7Point {
+	profile := int(float64(len(stream)) * s)
+	summary := topk.NewStreamSummary(4 * k)
+	for _, r := range stream[:profile] {
+		summary.Offer(textgen.WordForRank(r))
+	}
+	frozen := make(map[string]bool, k)
+	for _, c := range summary.Top(k) {
+		frozen[c.Key] = true
+	}
+	removed := 0
+	for _, r := range stream[profile:] {
+		if frozen[textgen.WordForRank(r)] {
+			removed++
+		}
+	}
+	return Fig7Point{Input: input, Predictor: "freqbuf", K: k, Removed: float64(removed) / float64(len(stream))}
+}
+
+// fig7Ideal gives the oracle bound: the true top-k keys absorb their
+// records from the very first one.
+func fig7Ideal(input string, stream []int64, k int) Fig7Point {
+	exact := topk.NewExact()
+	for _, r := range stream {
+		exact.Offer(textgen.WordForRank(r))
+	}
+	top := make(map[string]bool, k)
+	for _, c := range exact.Top(k) {
+		top[c.Key] = true
+	}
+	removed := 0
+	for _, r := range stream {
+		if top[textgen.WordForRank(r)] {
+			removed++
+		}
+	}
+	return Fig7Point{Input: input, Predictor: "ideal", K: k, Removed: float64(removed) / float64(len(stream))}
+}
+
+// fig7LRU admits every key, evicting the least recently used; only hits
+// (key already buffered) are removed from the spill stream.
+func fig7LRU(input string, stream []int64, k int) Fig7Point {
+	lru := topk.NewLRU(k)
+	removed := 0
+	for _, r := range stream {
+		if lru.Touch(textgen.WordForRank(r)) {
+			removed++
+		}
+	}
+	return Fig7Point{Input: input, Predictor: "lru", K: k, Removed: float64(removed) / float64(len(stream))}
+}
+
+func printFig7(env Env, r *Fig7Result) {
+	env.printf("\nFig. 7 — %% of intermediate values removed vs frequent-key buffer size (%d records)\n", r.Records)
+	for _, input := range []string{"text", "log"} {
+		env.printf("[%s]\n%-8s", input, "k")
+		for _, p := range []string{"ideal", "freqbuf", "lru"} {
+			env.printf(" %10s", p)
+		}
+		env.printf("\n")
+		for _, k := range fig7Sizes {
+			env.printf("%-8d", k)
+			for _, pred := range []string{"ideal", "freqbuf", "lru"} {
+				for _, pt := range r.Points {
+					if pt.Input == input && pt.Predictor == pred && pt.K == k {
+						env.printf("     %5.1f%%", 100*pt.Removed)
+					}
+				}
+			}
+			env.printf("\n")
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one named experiment against an environment.
+type Runner func(env Env) error
+
+// registry maps experiment ids (as printed in the paper) to runners.
+var registry = map[string]Runner{
+	"fig2":       func(env Env) error { _, err := RunFig2(env); return err },
+	"table2":     func(env Env) error { _, err := RunTable2(env); return err },
+	"fig3":       func(env Env) error { _, err := RunFig3(env); return err },
+	"fig7":       func(env Env) error { _, err := RunFig7(env); return err },
+	"fig8":       func(env Env) error { _, err := RunFig8(env); return err },
+	"fig9":       func(env Env) error { _, err := RunFig9(env); return err },
+	"fig10":      func(env Env) error { _, err := RunFig10(env); return err },
+	"table3":     func(env Env) error { _, err := RunTable3(env); return err },
+	"table4":     func(env Env) error { _, err := RunTable4(env); return err },
+	"spillmodel": func(env Env) error { _, err := RunSpillModel(env); return err },
+	"ablation":   func(env Env) error { _, err := RunAblation(env); return err },
+}
+
+// Names returns all experiment ids in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes the experiment with the given id.
+func Run(name string, env Env) error {
+	r, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(env)
+}

@@ -1,0 +1,126 @@
+// Package fabric simulates the cluster interconnect. Each node has one NIC
+// with a configurable bandwidth and per-transfer latency; a transfer
+// between two nodes occupies both endpoints' NICs for its duration, so
+// concurrent shuffles queue against each other the way they do on a real
+// top-of-rack network. Same-node transfers are free (they never leave the
+// host).
+//
+// The shuffle phase of the runtime charges every remote segment fetch
+// through the fabric, which is what makes the EC2-scale experiment
+// (Table IV) show the paper's "larger overhead of transmitting more data
+// between nodes" effect for InvertedIndex.
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config describes NIC performance. Zero BytesPerSec disables throttling
+// (transfers are still counted).
+type Config struct {
+	BytesPerSec int64
+	Latency     time.Duration
+}
+
+// DefaultConfig models gigabit Ethernet.
+func DefaultConfig() Config {
+	return Config{BytesPerSec: 110 << 20, Latency: 500 * time.Microsecond}
+}
+
+// Stats is cumulative fabric accounting.
+type Stats struct {
+	BytesMoved int64 // bytes that crossed node boundaries
+	Transfers  int64 // remote transfer operations
+	LocalBytes int64 // bytes "moved" between a node and itself (free)
+	LocalReads int64
+}
+
+// Fabric is the simulated interconnect. Safe for concurrent use.
+type Fabric struct {
+	cfg   Config
+	nics  []nic
+	moved atomic.Int64
+	xfers atomic.Int64
+	local atomic.Int64
+	lhits atomic.Int64
+}
+
+type nic struct {
+	mu       sync.Mutex
+	nextFree time.Time
+}
+
+// New creates a fabric connecting n nodes.
+func New(n int, cfg Config) (*Fabric, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fabric: need at least one node, got %d", n)
+	}
+	return &Fabric{cfg: cfg, nics: make([]nic, n)}, nil
+}
+
+// Nodes returns the number of connected nodes.
+func (f *Fabric) Nodes() int { return len(f.nics) }
+
+// Transfer moves n bytes from src to dst, blocking the caller for the
+// simulated transfer time. Same-node transfers return immediately.
+func (f *Fabric) Transfer(src, dst int, n int64) error {
+	if src < 0 || src >= len(f.nics) || dst < 0 || dst >= len(f.nics) {
+		return fmt.Errorf("fabric: transfer %d→%d outside 0..%d", src, dst, len(f.nics)-1)
+	}
+	if src == dst {
+		f.local.Add(n)
+		f.lhits.Add(1)
+		return nil
+	}
+	f.moved.Add(n)
+	f.xfers.Add(1)
+	if f.cfg.BytesPerSec <= 0 && f.cfg.Latency <= 0 {
+		return nil
+	}
+	var busy time.Duration
+	if f.cfg.BytesPerSec > 0 {
+		busy = time.Duration(float64(n) / float64(f.cfg.BytesPerSec) * float64(time.Second))
+	}
+	busy += f.cfg.Latency
+
+	// Occupy both NICs: the transfer starts when the later of the two is
+	// free and holds both for its duration. Lock ordering by index avoids
+	// deadlock between concurrent opposite-direction transfers.
+	a, b := src, dst
+	if a > b {
+		a, b = b, a
+	}
+	now := time.Now()
+	f.nics[a].mu.Lock()
+	f.nics[b].mu.Lock()
+	start := now
+	if f.nics[a].nextFree.After(start) {
+		start = f.nics[a].nextFree
+	}
+	if f.nics[b].nextFree.After(start) {
+		start = f.nics[b].nextFree
+	}
+	deadline := start.Add(busy)
+	f.nics[a].nextFree = deadline
+	f.nics[b].nextFree = deadline
+	f.nics[b].mu.Unlock()
+	f.nics[a].mu.Unlock()
+
+	if d := time.Until(deadline); d > 0 {
+		time.Sleep(d)
+	}
+	return nil
+}
+
+// Stats returns cumulative accounting.
+func (f *Fabric) Stats() Stats {
+	return Stats{
+		BytesMoved: f.moved.Load(),
+		Transfers:  f.xfers.Load(),
+		LocalBytes: f.local.Load(),
+		LocalReads: f.lhits.Load(),
+	}
+}

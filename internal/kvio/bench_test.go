@@ -1,0 +1,138 @@
+package kvio
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"mrtext/internal/vdisk"
+)
+
+func benchRuns(b *testing.B, disk vdisk.Disk, nRuns, recsPerRun int, compressed bool) []RunIndex {
+	b.Helper()
+	idxs := make([]RunIndex, nRuns)
+	for r := 0; r < nRuns; r++ {
+		w, err := NewRunSink(disk, fmt.Sprintf("run%d-%v", r, compressed), 1, compressed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < recsPerRun; i++ {
+			k := []byte(fmt.Sprintf("word/%06d", i*nRuns+r))
+			if err := w.Append(0, k, []byte("v")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		idx, err := w.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		idxs[r] = idx
+	}
+	return idxs
+}
+
+func BenchmarkKWayMerge(b *testing.B) {
+	disk := vdisk.NewMem()
+	idxs := benchRuns(b, disk, 8, 4096, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		streams := make([]Stream, len(idxs))
+		for j, idx := range idxs {
+			s, err := OpenRunPart(disk, idx, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			streams[j] = s
+		}
+		m, err := NewMerger(streams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			_, ok, err := m.NextGroup()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			for {
+				_, ok, err := m.NextValue()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				n++
+			}
+		}
+		m.Close()
+		if n != 8*4096 {
+			b.Fatalf("merged %d records", n)
+		}
+	}
+	b.SetBytes(8 * 4096)
+}
+
+func BenchmarkRunFormats(b *testing.B) {
+	for _, compressed := range []bool{false, true} {
+		name := "plain"
+		if compressed {
+			name = "prefix-compressed"
+		}
+		b.Run(name+"/write", func(b *testing.B) {
+			disk := vdisk.NewMem()
+			for i := 0; i < b.N; i++ {
+				w, err := NewRunSink(disk, fmt.Sprintf("w%d-%v", i, compressed), 1, compressed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < 4096; j++ {
+					if err := w.Append(0, []byte(fmt.Sprintf("word/%06d", j)), []byte("v")); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := w.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(4096)
+		})
+		b.Run(name+"/read", func(b *testing.B) {
+			disk := vdisk.NewMem()
+			idx := benchRuns(b, disk, 1, 4096, compressed)[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := OpenRunPart(disk, idx, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for {
+					if _, _, err := s.Next(); err == io.EOF {
+						break
+					} else if err != nil {
+						b.Fatal(err)
+					}
+				}
+				s.Close()
+			}
+			b.SetBytes(4096)
+		})
+	}
+}
+
+func BenchmarkSortRecords(b *testing.B) {
+	base := make([]Record, 1<<14)
+	for i := range base {
+		base[i] = Record{Part: i % 12, Key: []byte(fmt.Sprintf("k%05d", (i*2654435761)%9973))}
+	}
+	work := make([]Record, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, base)
+		SortRecords(work)
+	}
+	b.SetBytes(int64(len(base)))
+}

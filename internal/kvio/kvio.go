@@ -1,0 +1,424 @@
+// Package kvio implements the on-disk intermediate-data machinery of the
+// runtime: sorted, partitioned run files (spill files and final map-output
+// segments), sequential run readers, and the k-way heap merge — with
+// optional inline combining — used both by the map-side merge and by the
+// reduce-side shuffle merge.
+//
+// A run file holds, for each partition in ascending order, a contiguous
+// segment of framed key/value records sorted by key. The byte offsets of
+// the segments are kept in an in-memory RunIndex (the moral equivalent of
+// Hadoop's spill index file), which lets the shuffle serve exactly one
+// partition with a positioned read.
+package kvio
+
+import (
+	"bufio"
+	"bytes"
+	"container/heap"
+	"fmt"
+	"io"
+	"sort"
+
+	"mrtext/internal/serde"
+	"mrtext/internal/vdisk"
+)
+
+// Record is one intermediate key/value pair tagged with its reduce
+// partition. Key and Value reference caller-owned bytes.
+type Record struct {
+	Part  int
+	Key   []byte
+	Value []byte
+}
+
+// SortRecords sorts records by (partition, key), with a stable order for
+// equal keys so combiner semantics match Hadoop's (values arrive in emit
+// order).
+func SortRecords(recs []Record) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].Part != recs[j].Part {
+			return recs[i].Part < recs[j].Part
+		}
+		return bytes.Compare(recs[i].Key, recs[j].Key) < 0
+	})
+}
+
+// Segment locates one partition's records inside a run file.
+type Segment struct {
+	Off     int64
+	Len     int64
+	Records int64
+}
+
+// RunIndex describes a completed run file: its name on disk, its on-disk
+// format, and the segment per partition.
+type RunIndex struct {
+	Name       string
+	Compressed bool // prefix-compressed frames (see prefix.go)
+	Segments   []Segment
+}
+
+// TotalBytes returns the file's total record bytes.
+func (ri RunIndex) TotalBytes() int64 {
+	var n int64
+	for _, s := range ri.Segments {
+		n += s.Len
+	}
+	return n
+}
+
+// TotalRecords returns the file's total record count.
+func (ri RunIndex) TotalRecords() int64 {
+	var n int64
+	for _, s := range ri.Segments {
+		n += s.Records
+	}
+	return n
+}
+
+// RunWriter writes a partitioned, sorted run file. Append must be called in
+// non-decreasing partition order; within a partition, in non-decreasing key
+// order (not verified, but merge correctness depends on it).
+type RunWriter struct {
+	disk    vdisk.Disk
+	name    string
+	file    io.WriteCloser
+	buf     *bufio.Writer
+	w       *serde.Writer
+	parts   int
+	cur     int
+	off     int64
+	index   RunIndex
+	started bool
+}
+
+// NewRunWriter creates a run file with the given number of partitions.
+func NewRunWriter(disk vdisk.Disk, name string, parts int) (*RunWriter, error) {
+	if parts <= 0 {
+		return nil, fmt.Errorf("kvio: run %q: parts must be positive, got %d", name, parts)
+	}
+	f, err := disk.Create(name)
+	if err != nil {
+		return nil, fmt.Errorf("kvio: creating run %q: %w", name, err)
+	}
+	buf := bufio.NewWriterSize(f, 64<<10)
+	return &RunWriter{
+		disk:  disk,
+		name:  name,
+		file:  f,
+		buf:   buf,
+		w:     serde.NewWriter(buf),
+		parts: parts,
+		index: RunIndex{Name: name, Segments: make([]Segment, parts)},
+	}, nil
+}
+
+// Append writes one record into partition part.
+func (rw *RunWriter) Append(part int, key, value []byte) error {
+	if part < rw.cur || part >= rw.parts {
+		return fmt.Errorf("kvio: run %q: partition %d out of order (current %d, parts %d)", rw.name, part, rw.cur, rw.parts)
+	}
+	if part > rw.cur || !rw.started {
+		// Empty segments skipped over start (and end) at the current
+		// offset; the current partition, if begun, keeps its offset.
+		lo := rw.cur
+		if rw.started {
+			lo = rw.cur + 1
+		}
+		for p := lo; p <= part; p++ {
+			rw.index.Segments[p].Off = rw.off
+		}
+		rw.cur = part
+		rw.started = true
+	}
+	before := rw.w.Written()
+	if err := rw.w.WriteKV(key, value); err != nil {
+		return fmt.Errorf("kvio: run %q: writing record: %w", rw.name, err)
+	}
+	written := rw.w.Written() - before
+	rw.off += written
+	rw.index.Segments[part].Len += written
+	rw.index.Segments[part].Records++
+	return nil
+}
+
+// Close flushes and closes the file, returning its index.
+func (rw *RunWriter) Close() (RunIndex, error) {
+	if !rw.started {
+		rw.cur = -1
+	}
+	for p := rw.cur + 1; p < rw.parts; p++ {
+		rw.index.Segments[p].Off = rw.off
+	}
+	if err := rw.buf.Flush(); err != nil {
+		return RunIndex{}, fmt.Errorf("kvio: run %q: flush: %w", rw.name, err)
+	}
+	if err := rw.file.Close(); err != nil {
+		return RunIndex{}, fmt.Errorf("kvio: run %q: close: %w", rw.name, err)
+	}
+	return rw.index, nil
+}
+
+// BytesWritten reports bytes written so far.
+func (rw *RunWriter) BytesWritten() int64 { return rw.off }
+
+// Stream is a sequential source of key/value records in sorted key order.
+// Next returns io.EOF after the last record; the returned slices are valid
+// only until the following Next call.
+type Stream interface {
+	Next() (key, value []byte, err error)
+	Close() error
+}
+
+// runReader reads one partition segment of a run file.
+type runReader struct {
+	rc io.ReadCloser
+	r  *serde.Reader
+}
+
+// OpenRunPart opens partition part of the run described by idx, in
+// whichever on-disk format the run was written with.
+func OpenRunPart(disk vdisk.Disk, idx RunIndex, part int) (Stream, error) {
+	if part < 0 || part >= len(idx.Segments) {
+		return nil, fmt.Errorf("kvio: run %q has no partition %d", idx.Name, part)
+	}
+	if idx.Compressed {
+		return openPrefixRunPart(disk, idx, part)
+	}
+	seg := idx.Segments[part]
+	rc, err := disk.OpenSection(idx.Name, seg.Off, seg.Len)
+	if err != nil {
+		return nil, fmt.Errorf("kvio: opening run %q part %d: %w", idx.Name, part, err)
+	}
+	return &runReader{rc: rc, r: serde.NewReader(bufio.NewReaderSize(rc, 64<<10))}, nil
+}
+
+func (r *runReader) Next() (key, value []byte, err error) { return r.r.Next() }
+func (r *runReader) Close() error                         { return r.rc.Close() }
+
+// SliceStream adapts an in-memory, already-sorted record slice to a Stream.
+// Records must all belong to one partition.
+type SliceStream struct {
+	recs []Record
+	pos  int
+}
+
+// NewSliceStream returns a Stream over recs.
+func NewSliceStream(recs []Record) *SliceStream { return &SliceStream{recs: recs} }
+
+// Next implements Stream.
+func (s *SliceStream) Next() (key, value []byte, err error) {
+	if s.pos >= len(s.recs) {
+		return nil, nil, io.EOF
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r.Key, r.Value, nil
+}
+
+// Close implements Stream.
+func (s *SliceStream) Close() error { return nil }
+
+// mergeHead is one stream's current record inside the merge heap.
+type mergeHead struct {
+	key, value []byte
+	src        int
+}
+
+type mergeHeap struct {
+	heads []mergeHead
+}
+
+func (h *mergeHeap) Len() int { return len(h.heads) }
+func (h *mergeHeap) Less(i, j int) bool {
+	c := bytes.Compare(h.heads[i].key, h.heads[j].key)
+	if c != 0 {
+		return c < 0
+	}
+	return h.heads[i].src < h.heads[j].src // stability across runs
+}
+func (h *mergeHeap) Swap(i, j int)      { h.heads[i], h.heads[j] = h.heads[j], h.heads[i] }
+func (h *mergeHeap) Push(x interface{}) { h.heads = append(h.heads, x.(mergeHead)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.heads
+	n := len(old)
+	x := old[n-1]
+	h.heads = old[:n-1]
+	return x
+}
+
+// Merger performs a streaming k-way merge over sorted Streams. It exposes
+// the merged sequence grouped by key: NextGroup positions on the next
+// distinct key and Values iterates that key's values lazily. The key slice
+// is valid until the next NextGroup call.
+type Merger struct {
+	streams []Stream
+	h       mergeHeap
+	// current group state
+	curKey  []byte
+	pending *mergeHead // head popped but not yet consumed
+	done    bool
+	err     error
+}
+
+// NewMerger builds a Merger over streams; it immediately primes every
+// stream. Streams are closed by Close.
+func NewMerger(streams []Stream) (*Merger, error) {
+	m := &Merger{streams: streams}
+	for i, s := range streams {
+		k, v, err := s.Next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("kvio: priming merge stream %d: %w", i, err)
+		}
+		m.h.heads = append(m.h.heads, mergeHead{key: append([]byte(nil), k...), value: append([]byte(nil), v...), src: i})
+	}
+	heap.Init(&m.h)
+	return m, nil
+}
+
+// advance refills the heap from stream src after its head was consumed.
+func (m *Merger) advance(src int) error {
+	k, v, err := m.streams[src].Next()
+	if err == io.EOF {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("kvio: merge stream %d: %w", src, err)
+	}
+	heap.Push(&m.h, mergeHead{key: append([]byte(nil), k...), value: append([]byte(nil), v...), src: src})
+	return nil
+}
+
+// NextGroup advances to the next distinct key. It returns the key and true,
+// or nil and false at end of input. Any unconsumed values of the previous
+// group are drained first.
+func (m *Merger) NextGroup() ([]byte, bool, error) {
+	if m.err != nil || m.done {
+		return nil, false, m.err
+	}
+	// Drain the remainder of the current group.
+	for {
+		v, ok, err := m.NextValue()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		_ = v
+	}
+	if m.pending == nil {
+		if m.h.Len() == 0 {
+			m.done = true
+			return nil, false, nil
+		}
+		head := heap.Pop(&m.h).(mergeHead)
+		m.pending = &head
+	}
+	m.curKey = append(m.curKey[:0], m.pending.key...)
+	return m.curKey, true, nil
+}
+
+// NextValue returns the next value of the current group, or false when the
+// group is exhausted.
+func (m *Merger) NextValue() ([]byte, bool, error) {
+	if m.err != nil {
+		return nil, false, m.err
+	}
+	if m.pending == nil {
+		if m.h.Len() == 0 {
+			return nil, false, nil
+		}
+		head := heap.Pop(&m.h).(mergeHead)
+		m.pending = &head
+	}
+	if m.curKey == nil || !bytes.Equal(m.pending.key, m.curKey) {
+		return nil, false, nil // start of the next group
+	}
+	v := m.pending.value
+	src := m.pending.src
+	m.pending = nil
+	if err := m.advance(src); err != nil {
+		m.err = err
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// Close closes all underlying streams, returning the first error.
+func (m *Merger) Close() error {
+	var first error
+	for _, s := range m.streams {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CombineFunc aggregates all values of one key, emitting zero or more
+// records. It matches the user combine() contract: it may be applied any
+// number of times to any subset of a key's values.
+type CombineFunc func(key []byte, values [][]byte, emit func(key, value []byte) error) error
+
+// MergeInto merges streams and appends every (possibly combined) record to
+// out for the given partition. When combine is nil, records pass through
+// unmodified (still in sorted order). It returns the number of records
+// emitted and the number consumed.
+func MergeInto(streams []Stream, part int, out RunSink, combine CombineFunc) (emitted, consumed int64, err error) {
+	m, err := NewMerger(streams)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer m.Close()
+
+	var vals [][]byte
+	for {
+		key, ok, err := m.NextGroup()
+		if err != nil {
+			return emitted, consumed, err
+		}
+		if !ok {
+			return emitted, consumed, nil
+		}
+		if combine == nil {
+			for {
+				v, ok, err := m.NextValue()
+				if err != nil {
+					return emitted, consumed, err
+				}
+				if !ok {
+					break
+				}
+				consumed++
+				emitted++
+				if err := out.Append(part, key, v); err != nil {
+					return emitted, consumed, err
+				}
+			}
+			continue
+		}
+		vals = vals[:0]
+		for {
+			v, ok, err := m.NextValue()
+			if err != nil {
+				return emitted, consumed, err
+			}
+			if !ok {
+				break
+			}
+			consumed++
+			vals = append(vals, append([]byte(nil), v...))
+		}
+		if err := combine(key, vals, func(k, v []byte) error {
+			emitted++
+			return out.Append(part, k, v)
+		}); err != nil {
+			return emitted, consumed, fmt.Errorf("kvio: combine: %w", err)
+		}
+	}
+}

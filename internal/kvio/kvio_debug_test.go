@@ -1,0 +1,61 @@
+package kvio
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"mrtext/internal/vdisk"
+)
+
+func TestRunWriterRoundTrip(t *testing.T) {
+	disk := vdisk.NewMem()
+	rw, err := NewRunWriter(disk, "run", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int][]string{}
+	for part := 0; part < 4; part++ {
+		if part == 2 {
+			continue // leave a hole
+		}
+		for i := 0; i < 100; i++ {
+			k := fmt.Sprintf("p%d-key%04d", part, i)
+			v := fmt.Sprintf("val%d", i)
+			if err := rw.Append(part, []byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			want[part] = append(want[part], k+"="+v)
+		}
+	}
+	idx, err := rw.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for part := 0; part < 4; part++ {
+		s, err := OpenRunPart(disk, idx, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		for {
+			k, v, err := s.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("part %d: %v", part, err)
+			}
+			got = append(got, string(k)+"="+string(v))
+		}
+		s.Close()
+		if len(got) != len(want[part]) {
+			t.Fatalf("part %d: got %d records want %d", part, len(got), len(want[part]))
+		}
+		for i := range got {
+			if got[i] != want[part][i] {
+				t.Fatalf("part %d rec %d: got %q want %q", part, i, got[i], want[part][i])
+			}
+		}
+	}
+}

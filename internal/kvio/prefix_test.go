@@ -1,0 +1,280 @@
+package kvio
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mrtext/internal/vdisk"
+)
+
+func TestPrefixRunRoundTrip(t *testing.T) {
+	disk := vdisk.NewMem()
+	w, err := NewPrefixRunWriter(disk, "prun", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type kv struct{ k, v string }
+	var want [][]kv
+	want = append(want, nil, nil, nil)
+	for part := 0; part < 3; part++ {
+		keys := []string{"app", "apple", "applesauce", "banana", "band", "bandit", "zz"}
+		for i, k := range keys {
+			v := fmt.Sprintf("val-%d-%d", part, i)
+			if err := w.Append(part, []byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			want[part] = append(want[part], kv{k, v})
+		}
+	}
+	idx, err := w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx.Compressed {
+		t.Error("index not marked compressed")
+	}
+	for part := 0; part < 3; part++ {
+		s, err := OpenRunPart(disk, idx, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, kvWant := range want[part] {
+			k, v, err := s.Next()
+			if err != nil {
+				t.Fatalf("part %d rec %d: %v", part, i, err)
+			}
+			if string(k) != kvWant.k || string(v) != kvWant.v {
+				t.Fatalf("part %d rec %d: got %q/%q want %q/%q", part, i, k, v, kvWant.k, kvWant.v)
+			}
+		}
+		if _, _, err := s.Next(); err != io.EOF {
+			t.Fatalf("part %d: expected EOF, got %v", part, err)
+		}
+		s.Close()
+	}
+}
+
+func TestPrefixRunRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]string, int(n)+1)
+		for i := range keys {
+			// Keys with heavy shared prefixes.
+			keys[i] = "prefix/" + string(rune('a'+rng.Intn(4))) + fmt.Sprint(rng.Intn(30))
+		}
+		sort.Strings(keys)
+		disk := vdisk.NewMem()
+		w, err := NewPrefixRunWriter(disk, "q", 1)
+		if err != nil {
+			return false
+		}
+		for i, k := range keys {
+			if err := w.Append(0, []byte(k), []byte(fmt.Sprint(i))); err != nil {
+				return false
+			}
+		}
+		idx, err := w.Close()
+		if err != nil {
+			return false
+		}
+		s, err := OpenRunPart(disk, idx, 0)
+		if err != nil {
+			return false
+		}
+		defer s.Close()
+		for i, want := range keys {
+			k, v, err := s.Next()
+			if err != nil || string(k) != want || string(v) != fmt.Sprint(i) {
+				return false
+			}
+		}
+		_, _, err = s.Next()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixCompressionShrinks(t *testing.T) {
+	disk := vdisk.NewMem()
+	plain, err := NewRunWriter(disk, "plain", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := NewPrefixRunWriter(disk, "comp", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted keys with long shared prefixes — the text-corpus shape.
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("commonprefix/word%06d", i))
+		v := []byte("v")
+		if err := plain.Append(0, k, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := comp.Append(0, k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pi, err := plain.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := comp.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.TotalBytes() >= pi.TotalBytes()*2/3 {
+		t.Errorf("compressed %d vs plain %d: less than 33%% saved on prefix-heavy keys",
+			ci.TotalBytes(), pi.TotalBytes())
+	}
+}
+
+func TestPrefixResetsAcrossSegments(t *testing.T) {
+	// The first key of each partition must be encoded with shared=0 even
+	// if it shares a prefix with the previous partition's last key.
+	disk := vdisk.NewMem()
+	w, err := NewPrefixRunWriter(disk, "seg", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(0, []byte("shared-key-one"), []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, []byte("shared-key-two"), []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reading partition 1 alone must reconstruct its key with no context.
+	s, err := OpenRunPart(disk, idx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	k, v, err := s.Next()
+	if err != nil || string(k) != "shared-key-two" || string(v) != "b" {
+		t.Fatalf("got %q/%q err %v", k, v, err)
+	}
+}
+
+func TestPrefixRawBytesAccounting(t *testing.T) {
+	disk := vdisk.NewMem()
+	w, err := NewPrefixRunWriter(disk, "raw", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(0, []byte("aaaa"), []byte("1111"))
+	w.Append(0, []byte("aaab"), []byte("2222"))
+	if w.RawBytesIn() <= w.BytesWritten() {
+		t.Errorf("raw %d not larger than compressed %d", w.RawBytesIn(), w.BytesWritten())
+	}
+	if _, err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRunSinkDispatch(t *testing.T) {
+	disk := vdisk.NewMem()
+	a, err := NewRunSink(disk, "a", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.(*RunWriter); !ok {
+		t.Errorf("plain sink type %T", a)
+	}
+	b, err := NewRunSink(disk, "b", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.(*prefixRunWriter); !ok {
+		t.Errorf("compressed sink type %T", b)
+	}
+	a.Close()
+	b.Close()
+	if _, err := NewRunSink(disk, "c", 0, true); err == nil {
+		t.Error("zero partitions accepted")
+	}
+}
+
+func TestPrefixMergeInterop(t *testing.T) {
+	// Compressed and plain runs merge together transparently.
+	disk := vdisk.NewMem()
+	mk := func(name string, compressed bool, keys ...string) RunIndex {
+		w, err := NewRunSink(disk, name, 1, compressed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if err := w.Append(0, []byte(k), []byte(name)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		idx, err := w.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx
+	}
+	i1 := mk("r1", true, "alpha", "beta", "gamma")
+	i2 := mk("r2", false, "alpine", "beta", "delta")
+	s1, err := OpenRunPart(disk, i1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenRunPart(disk, i2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewRunWriter(disk, "merged", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted, consumed, err := MergeInto([]Stream{s1, s2}, 0, out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != 6 || emitted != 6 {
+		t.Errorf("consumed %d emitted %d", consumed, emitted)
+	}
+	idx, err := out.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenRunPart(disk, idx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var got []string
+	for {
+		k, _, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, string(k))
+	}
+	want := []string{"alpha", "alpine", "beta", "beta", "delta", "gamma"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pos %d: %q want %q", i, got[i], want[i])
+		}
+	}
+	if !bytes.Equal([]byte(got[0]), []byte("alpha")) {
+		t.Error("sanity")
+	}
+}

@@ -1,0 +1,359 @@
+// Package metrics implements the instrumentation layer used to reproduce the
+// paper's cost accounting: the fine-grained operation taxonomy of Table I,
+// per-goroutine busy/idle accounting (Table II, Fig. 9), and the aggregated
+// "serialized view" of where a whole job's CPU time goes (Fig. 2, Fig. 8).
+//
+// Every task in the runtime owns a *TaskMetrics. The map-side pipeline
+// records time per Op and wait (idle) time for both the map and support
+// goroutines; the reduce side records shuffle and reduce time. A JobMetrics
+// merges the per-task numbers exactly the way the paper describes Fig. 2:
+// "measuring all the CPU cycles used by any thread on any machine during the
+// job, then grouping by phase, then summing and normalizing".
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Op identifies one fine-grained operation from the paper's Table I
+// taxonomy. The map phase splits into user map(), emit (serialize+collect),
+// sort, user combine(), spill I/O and merge; the shuffle phase is framework
+// only; the reduce phase splits into user reduce() and output I/O. Profile
+// covers the extra work frequency-buffering itself adds (profiling + hash
+// table maintenance), so its overhead is visible in breakdowns, as in
+// Fig. 8's discussion.
+type Op int
+
+const (
+	OpMapUser     Op = iota // user map() execution
+	OpEmit                  // serializing records and appending to the spill buffer
+	OpSort                  // sorting a spill by (partition, key)
+	OpCombineUser           // user combine() execution
+	OpSpillIO               // writing spill runs to local disk
+	OpMerge                 // merge-sorting spill runs into the map output file
+	OpShuffle               // fetching and merge-sorting map outputs on the reduce side
+	OpReduceUser            // user reduce() execution
+	OpOutputIO              // writing final output to the DFS
+	OpProfile               // frequency-buffering profiling + hash table overhead
+	NumOps                  // sentinel: number of operations
+)
+
+var opNames = [NumOps]string{
+	"map", "emit", "sort", "combine", "spill-io",
+	"merge", "shuffle", "reduce", "output-io", "profile",
+}
+
+// String returns the short lower-case operation name used in reports.
+func (op Op) String() string {
+	if op < 0 || op >= NumOps {
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+	return opNames[op]
+}
+
+// ParseOp maps a short name back to its Op. It reports false for unknown
+// names.
+func ParseOp(name string) (Op, bool) {
+	for i, n := range opNames {
+		if n == name {
+			return Op(i), true
+		}
+	}
+	return 0, false
+}
+
+// UserOps reports whether op executes user-supplied code (map, combine,
+// reduce); everything else is framework overhead — the "abstraction cost"
+// the paper targets.
+func (op Op) User() bool {
+	return op == OpMapUser || op == OpCombineUser || op == OpReduceUser
+}
+
+// Phase identifies one of the three coarse MapReduce phases.
+type Phase int
+
+const (
+	PhaseMap Phase = iota
+	PhaseShuffle
+	PhaseReduce
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{"map", "shuffle", "reduce"}
+
+// String returns the phase name.
+func (p Phase) String() string { return phaseNames[p] }
+
+// PhaseOf returns the coarse phase an operation belongs to, following
+// Table I: everything up to and including merge happens inside map tasks,
+// shuffle is its own phase, reduce and output I/O belong to reduce tasks.
+func PhaseOf(op Op) Phase {
+	switch op {
+	case OpShuffle:
+		return PhaseShuffle
+	case OpReduceUser, OpOutputIO:
+		return PhaseReduce
+	default:
+		return PhaseMap
+	}
+}
+
+// Counter names for the byte/record accounting the experiments report.
+const (
+	CtrMapInputRecords   = "map.input.records"
+	CtrMapOutputRecords  = "map.output.records"
+	CtrMapOutputBytes    = "map.output.bytes"
+	CtrSpillRecords      = "spill.records" // records written to spill runs
+	CtrSpillBytes        = "spill.bytes"   // bytes written to spill runs
+	CtrSpillCount        = "spill.count"   // number of spills
+	CtrMergeBytes        = "merge.bytes"   // bytes written during final merge
+	CtrShuffleBytes      = "shuffle.bytes" // bytes moved across the fabric
+	CtrReduceInputGroups = "reduce.input.groups"
+	CtrReduceInputValues = "reduce.input.values"
+	CtrOutputRecords     = "output.records"
+	CtrOutputBytes       = "output.bytes"
+	CtrFreqHits          = "freqbuf.hits"      // records absorbed by the frequent-key table
+	CtrFreqMisses        = "freqbuf.misses"    // records with non-frequent keys
+	CtrFreqEvictions     = "freqbuf.evictions" // aggregates overflowed to the spill path
+	CtrFreqProfiled      = "freqbuf.profiled"  // records seen during profiling
+	CtrCombineInRecords  = "combine.input.records"
+	CtrCombineOutRecords = "combine.output.records"
+)
+
+// TaskMetrics accumulates instrumentation for a single task attempt. It is
+// safe for concurrent use: the map and support goroutines of one map task
+// both record into it.
+type TaskMetrics struct {
+	mu       sync.Mutex
+	ops      [NumOps]time.Duration
+	waitMap  time.Duration // map goroutine blocked on a full spill buffer
+	waitSup  time.Duration // support goroutine blocked waiting for a spill
+	counters map[string]int64
+}
+
+// NewTaskMetrics returns an empty TaskMetrics ready for use.
+func NewTaskMetrics() *TaskMetrics {
+	return &TaskMetrics{counters: make(map[string]int64)}
+}
+
+// Add records d duration of work attributed to op.
+func (t *TaskMetrics) Add(op Op, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	t.ops[op] += d
+	t.mu.Unlock()
+}
+
+// Time runs f and attributes its wall time to op.
+func (t *TaskMetrics) Time(op Op, f func()) {
+	start := time.Now()
+	f()
+	t.Add(op, time.Since(start))
+}
+
+// AddWaitMap records time the map goroutine spent blocked because the spill
+// buffer was full (the "Map, Idle" column of Table II).
+func (t *TaskMetrics) AddWaitMap(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	t.waitMap += d
+	t.mu.Unlock()
+}
+
+// AddWaitSupport records time the support goroutine spent blocked waiting
+// for the next spill to be produced (the "Support, Idle" column of Table II).
+func (t *TaskMetrics) AddWaitSupport(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	t.waitSup += d
+	t.mu.Unlock()
+}
+
+// Inc adds delta to the named counter.
+func (t *TaskMetrics) Inc(name string, delta int64) {
+	t.mu.Lock()
+	t.counters[name] += delta
+	t.mu.Unlock()
+}
+
+// Op returns the accumulated duration for op.
+func (t *TaskMetrics) Op(op Op) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ops[op]
+}
+
+// WaitMap returns accumulated map-goroutine idle time.
+func (t *TaskMetrics) WaitMap() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.waitMap
+}
+
+// WaitSupport returns accumulated support-goroutine idle time.
+func (t *TaskMetrics) WaitSupport() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.waitSup
+}
+
+// Counter returns the value of the named counter (zero if never set).
+func (t *TaskMetrics) Counter(name string) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counters[name]
+}
+
+// Snapshot returns a consistent copy of the task's accumulated state.
+func (t *TaskMetrics) Snapshot() Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Snapshot{WaitMap: t.waitMap, WaitSupport: t.waitSup, Counters: make(map[string]int64, len(t.counters))}
+	s.Ops = t.ops
+	for k, v := range t.counters {
+		s.Counters[k] = v
+	}
+	return s
+}
+
+// Snapshot is an immutable copy of task or job instrumentation.
+type Snapshot struct {
+	Ops         [NumOps]time.Duration
+	WaitMap     time.Duration
+	WaitSupport time.Duration
+	Counters    map[string]int64
+}
+
+// Merge adds other into s.
+func (s *Snapshot) Merge(other Snapshot) {
+	for i := range s.Ops {
+		s.Ops[i] += other.Ops[i]
+	}
+	s.WaitMap += other.WaitMap
+	s.WaitSupport += other.WaitSupport
+	if s.Counters == nil {
+		s.Counters = make(map[string]int64)
+	}
+	for k, v := range other.Counters {
+		s.Counters[k] += v
+	}
+}
+
+// TotalWork is the serialized-view total: the sum of all operation time
+// across all threads, the denominator of Fig. 2's normalization.
+func (s Snapshot) TotalWork() time.Duration {
+	var sum time.Duration
+	for _, d := range s.Ops {
+		sum += d
+	}
+	return sum
+}
+
+// UserWork returns time spent in user-supplied code (map + combine + reduce).
+func (s Snapshot) UserWork() time.Duration {
+	return s.Ops[OpMapUser] + s.Ops[OpCombineUser] + s.Ops[OpReduceUser]
+}
+
+// FrameworkWork returns abstraction-cost time: everything except user code.
+func (s Snapshot) FrameworkWork() time.Duration {
+	return s.TotalWork() - s.UserWork()
+}
+
+// Fraction returns op's share of total serialized work in [0,1]; it reports
+// zero when no work was recorded.
+func (s Snapshot) Fraction(op Op) float64 {
+	total := s.TotalWork()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Ops[op]) / float64(total)
+}
+
+// PhaseWork sums operation time by coarse phase.
+func (s Snapshot) PhaseWork(p Phase) time.Duration {
+	var sum time.Duration
+	for op := Op(0); op < NumOps; op++ {
+		if PhaseOf(op) == p {
+			sum += s.Ops[op]
+		}
+	}
+	return sum
+}
+
+// Breakdown renders the snapshot as the Fig. 2-style normalized table:
+// one row per operation with its absolute time and percentage share,
+// ordered by the Table I pipeline order.
+func (s Snapshot) Breakdown() string {
+	var b strings.Builder
+	total := s.TotalWork()
+	fmt.Fprintf(&b, "%-10s %12s %7s\n", "operation", "time", "share")
+	for op := Op(0); op < NumOps; op++ {
+		if s.Ops[op] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %12s %6.1f%%\n", op, s.Ops[op].Round(time.Microsecond), 100*s.Fraction(op))
+	}
+	fmt.Fprintf(&b, "%-10s %12s %6.1f%%\n", "TOTAL", total.Round(time.Microsecond), 100.0)
+	return b.String()
+}
+
+// CounterNames returns the sorted names of all non-zero counters.
+func (s Snapshot) CounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for k, v := range s.Counters {
+		if v != 0 {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stopwatch measures elapsed intervals and attributes them to operations on
+// a TaskMetrics. It is a convenience for straight-line pipeline code:
+//
+//	sw := metrics.NewStopwatch(tm)
+//	... user map() ...
+//	sw.Lap(metrics.OpMapUser)
+//	... serialize ...
+//	sw.Lap(metrics.OpEmit)
+//
+// A Stopwatch is not safe for concurrent use; each goroutine owns its own.
+type Stopwatch struct {
+	tm   *TaskMetrics
+	last time.Time
+}
+
+// NewStopwatch returns a Stopwatch recording into tm, started now.
+func NewStopwatch(tm *TaskMetrics) *Stopwatch {
+	return &Stopwatch{tm: tm, last: time.Now()}
+}
+
+// Lap attributes the time since the previous Lap (or construction) to op and
+// restarts the interval. It returns the lap duration.
+func (s *Stopwatch) Lap(op Op) time.Duration {
+	now := time.Now()
+	d := now.Sub(s.last)
+	s.last = now
+	s.tm.Add(op, d)
+	return d
+}
+
+// Skip discards the time since the previous Lap without attributing it,
+// restarting the interval. Used to exclude waits from operation accounting.
+func (s *Stopwatch) Skip() time.Duration {
+	now := time.Now()
+	d := now.Sub(s.last)
+	s.last = now
+	return d
+}

@@ -1,0 +1,461 @@
+package mr
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"mrtext/internal/cluster"
+	"mrtext/internal/core/freqbuf"
+	"mrtext/internal/kvio"
+	"mrtext/internal/metrics"
+	"mrtext/internal/spillbuf"
+	"mrtext/internal/vdisk"
+)
+
+// mapOutput locates one finished map task's partitioned output run.
+type mapOutput struct {
+	node  int
+	index kvio.RunIndex
+}
+
+// mapCollector is the Collector handed to user map() code. It implements
+// the full map-side emit path: partitioning, the frequency-buffering
+// intercept, and the spill-buffer append, with the paper's operation
+// accounting (user map time vs. emit overhead vs. profiling overhead).
+type mapCollector struct {
+	job   *Job
+	tm    *metrics.TaskMetrics
+	buf   *spillbuf.Buffer
+	freq  *freqbuf.Buffer
+	cache *freqbuf.Cache // node cache for top-k sharing (nil if disabled)
+
+	scanner    *lineScanner // the task's input scanner (for record-count extrapolation)
+	emitted    int64
+	mark       time.Time     // end of the runtime's last involvement: user time accrues from here
+	combineAcc time.Duration // combine time spent inside freqbuf (via the timed combiner)
+	published  bool
+}
+
+// Collect implements Collector.
+func (mc *mapCollector) Collect(key, value []byte) error {
+	now := time.Now()
+	mc.tm.Add(metrics.OpMapUser, now.Sub(mc.mark))
+	err := mc.emit(key, value)
+	mc.mark = time.Now()
+	return err
+}
+
+func (mc *mapCollector) emit(key, value []byte) error {
+	part := mc.job.Partition(key, mc.job.NumReducers)
+	mc.emitted++
+	mc.tm.Inc(metrics.CtrMapOutputRecords, 1)
+	mc.tm.Inc(metrics.CtrMapOutputBytes, spillbuf.RecordBytes(key, value))
+
+	if mc.freq != nil {
+		t0 := time.Now()
+		combineBefore := mc.combineAcc
+		absorbed, overflow, err := mc.freq.Offer(part, key, value)
+		combineDelta := mc.combineAcc - combineBefore
+		mc.tm.Add(metrics.OpProfile, time.Since(t0)-combineDelta)
+		if err != nil {
+			return err
+		}
+		if absorbed {
+			mc.tm.Inc(metrics.CtrFreqHits, 1)
+		}
+		if !mc.published && mc.cache != nil && mc.freq.Stage() == freqbuf.StageOptimize {
+			mc.cache.Put(mc.job.Name, mc.freq.TopK())
+			mc.published = true
+		}
+		for _, r := range overflow {
+			mc.tm.Inc(metrics.CtrFreqEvictions, 1)
+			if err := mc.append(r.Part, r.Key, r.Value); err != nil {
+				return err
+			}
+		}
+		if absorbed {
+			return nil
+		}
+	}
+	return mc.append(part, key, value)
+}
+
+// append sends one record down the standard spill path, excluding any
+// buffer-full block time from the emit accounting (it is already counted
+// as map-thread idle time).
+func (mc *mapCollector) append(part int, key, value []byte) error {
+	t0 := time.Now()
+	waited, err := mc.buf.Append(part, key, value)
+	mc.tm.Add(metrics.OpEmit, time.Since(t0)-waited)
+	return err
+}
+
+// finish attributes trailing user time (input lines that emitted nothing).
+func (mc *mapCollector) finish() {
+	mc.tm.Add(metrics.OpMapUser, time.Since(mc.mark))
+}
+
+// writeSpillRun turns one spill into a sorted, partitioned run on the node
+// disk and returns the run index. The support goroutine calls it once per
+// spill. The grouping strategy is either the standard sort-based GROUP BY
+// or, under the HashGroupSpills extension, a hash-based one: raw records
+// are grouped and combined in a hash table and only the (far fewer)
+// aggregates are sorted.
+func writeSpillRun(disk vdisk.Disk, name string, parts int, recs []kvio.Record, job *Job, combine CombineFunc, tm *metrics.TaskMetrics) (kvio.RunIndex, error) {
+	if job.HashGroupSpills && combine != nil {
+		return writeSpillRunHashed(disk, name, parts, recs, job, combine, tm)
+	}
+	t0 := time.Now()
+	kvio.SortRecords(recs)
+	tm.Add(metrics.OpSort, time.Since(t0))
+
+	t1 := time.Now()
+	var combineDur time.Duration
+	rw, err := kvio.NewRunSink(disk, name, parts, job.CompressRuns)
+	if err != nil {
+		return kvio.RunIndex{}, err
+	}
+	var vals [][]byte
+	i := 0
+	var combineIn, combineOut int64
+	for i < len(recs) {
+		j := i + 1
+		for j < len(recs) && recs[j].Part == recs[i].Part && bytes.Equal(recs[j].Key, recs[i].Key) {
+			j++
+		}
+		if combine == nil || j-i == 1 {
+			for k := i; k < j; k++ {
+				if err := rw.Append(recs[k].Part, recs[k].Key, recs[k].Value); err != nil {
+					return kvio.RunIndex{}, err
+				}
+			}
+		} else {
+			vals = vals[:0]
+			for k := i; k < j; k++ {
+				vals = append(vals, recs[k].Value)
+			}
+			combineIn += int64(j - i)
+			c0 := time.Now()
+			err := combine(recs[i].Key, vals, func(k, v []byte) error {
+				combineOut++
+				return rw.Append(recs[i].Part, k, v)
+			})
+			combineDur += time.Since(c0)
+			if err != nil {
+				return kvio.RunIndex{}, fmt.Errorf("mr: combine during spill: %w", err)
+			}
+		}
+		i = j
+	}
+	idx, err := rw.Close()
+	if err != nil {
+		return kvio.RunIndex{}, err
+	}
+	tm.Add(metrics.OpCombineUser, combineDur)
+	tm.Add(metrics.OpSpillIO, time.Since(t1)-combineDur)
+	tm.Inc(metrics.CtrSpillRecords, idx.TotalRecords())
+	tm.Inc(metrics.CtrSpillBytes, idx.TotalBytes())
+	tm.Inc(metrics.CtrSpillCount, 1)
+	tm.Inc(metrics.CtrCombineInRecords, combineIn)
+	tm.Inc(metrics.CtrCombineOutRecords, combineOut)
+	return idx, nil
+}
+
+// writeSpillRunHashed is the hash-based GROUP BY spill path (§VII future
+// work, after Lin et al.): group raw records by (partition, key) in a hash
+// table, combine each group once, sort only the combined aggregates, and
+// write them out. For skewed text keys the aggregates are a small fraction
+// of the raw records, so the sort shrinks dramatically. Hash grouping
+// replaces the sort-based grouping, so its time is attributed to OpSort.
+func writeSpillRunHashed(disk vdisk.Disk, name string, parts int, recs []kvio.Record, job *Job, combine CombineFunc, tm *metrics.TaskMetrics) (kvio.RunIndex, error) {
+	type group struct {
+		part int
+		key  []byte
+		vals [][]byte
+	}
+	t0 := time.Now()
+	groups := make(map[string]*group, len(recs)/4+16)
+	for i := range recs {
+		r := &recs[i]
+		g, ok := groups[string(r.Key)]
+		if !ok {
+			g = &group{part: r.Part, key: r.Key}
+			groups[string(r.Key)] = g
+		}
+		g.vals = append(g.vals, r.Value)
+	}
+	tm.Add(metrics.OpSort, time.Since(t0))
+
+	var combineDur time.Duration
+	var combined []kvio.Record
+	var combineIn, combineOut int64
+	t1 := time.Now()
+	for _, g := range groups {
+		if len(g.vals) == 1 {
+			combined = append(combined, kvio.Record{Part: g.part, Key: g.key, Value: g.vals[0]})
+			continue
+		}
+		combineIn += int64(len(g.vals))
+		c0 := time.Now()
+		err := combine(g.key, g.vals, func(k, v []byte) error {
+			combineOut++
+			combined = append(combined, kvio.Record{Part: g.part, Key: append([]byte(nil), k...), Value: append([]byte(nil), v...)})
+			return nil
+		})
+		combineDur += time.Since(c0)
+		if err != nil {
+			return kvio.RunIndex{}, fmt.Errorf("mr: combine during hashed spill: %w", err)
+		}
+	}
+	kvio.SortRecords(combined) // only the aggregates: the whole point
+	tm.Add(metrics.OpSort, time.Since(t1)-combineDur)
+	tm.Add(metrics.OpCombineUser, combineDur)
+
+	w0 := time.Now()
+	rw, err := kvio.NewRunSink(disk, name, parts, job.CompressRuns)
+	if err != nil {
+		return kvio.RunIndex{}, err
+	}
+	for _, r := range combined {
+		if err := rw.Append(r.Part, r.Key, r.Value); err != nil {
+			return kvio.RunIndex{}, err
+		}
+	}
+	idx, err := rw.Close()
+	if err != nil {
+		return kvio.RunIndex{}, err
+	}
+	tm.Add(metrics.OpSpillIO, time.Since(w0))
+	tm.Inc(metrics.CtrSpillRecords, idx.TotalRecords())
+	tm.Inc(metrics.CtrSpillBytes, idx.TotalBytes())
+	tm.Inc(metrics.CtrSpillCount, 1)
+	tm.Inc(metrics.CtrCombineInRecords, combineIn)
+	tm.Inc(metrics.CtrCombineOutRecords, combineOut)
+	return idx, nil
+}
+
+// runMapTask executes one map task on the given node: the map goroutine
+// reads the split and applies map(); the support goroutine sorts, combines
+// and spills; the task ends with the merge of all spill runs (plus the
+// drained frequency-buffer aggregates) into one partitioned output run.
+func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node int) (mapOutput, TaskReport, error) {
+	start := time.Now()
+	tm := metrics.NewTaskMetrics()
+	disk := c.Disks[node]
+	report := TaskReport{Kind: "map", Index: taskIdx, Node: node}
+	fail := func(err error) (mapOutput, TaskReport, error) {
+		report.Wall = time.Since(start)
+		report.Metrics = tm.Snapshot()
+		return mapOutput{}, report, fmt.Errorf("mr: map task %d (node %d): %w", taskIdx, node, err)
+	}
+
+	// Memory budget: frequency-buffering carves its table out of the spill
+	// buffer so total memory stays constant (§V-B2).
+	bufBytes := job.SpillBufferBytes
+	var freq *freqbuf.Buffer
+	var cache *freqbuf.Cache
+	mc := &mapCollector{job: job, tm: tm}
+
+	ctrl := job.newController()
+	if job.FreqBuf != nil {
+		fb := job.FreqBuf
+		tableBytes := int64(float64(bufBytes) * fb.MemFraction)
+		bufBytes -= tableBytes
+
+		var timedCombine CombineFunc
+		if job.Combine != nil {
+			timedCombine = func(key []byte, vals [][]byte, emit func(k, v []byte) error) error {
+				t0 := time.Now()
+				err := job.Combine(key, vals, emit)
+				d := time.Since(t0)
+				mc.combineAcc += d
+				tm.Add(metrics.OpCombineUser, d)
+				return err
+			}
+		}
+		// The scanner is created after the freq buffer; the estimator
+		// reads it through the collector, which is bound below.
+		expected := func() int64 {
+			if mc.scanner == nil {
+				return 1 << 20
+			}
+			consumed := mc.scanner.Consumed()
+			if consumed <= 0 || mc.emitted == 0 {
+				return 1 << 20
+			}
+			return int64(float64(mc.emitted)/float64(consumed)*float64(split.Len)) + 1
+		}
+		var err error
+		freq, err = freqbuf.New(freqbuf.Config{
+			K:               fb.K,
+			MemoryBytes:     tableBytes,
+			SampleFraction:  fb.SampleFraction,
+			ValuesPerKeyCap: fb.ValuesPerKeyCap,
+			ExpectedRecords: expected,
+		}, timedCombine)
+		if err != nil {
+			return fail(err)
+		}
+		if fb.ShareTopK {
+			cache = c.FreqCaches[node]
+			if keys, ok := cache.Get(job.Name); ok {
+				freq.InstallTopK(keys, func(k []byte) int { return job.Partition(k, job.NumReducers) })
+			}
+		}
+		mc.freq = freq
+		mc.cache = cache
+	}
+
+	buf, err := spillbuf.New(bufBytes, ctrl, tm)
+	if err != nil {
+		return fail(err)
+	}
+	mc.buf = buf
+
+	// Support goroutine: consume spills.
+	var runs []kvio.RunIndex
+	supportErr := make(chan error, 1)
+	go func() {
+		spillSeq := 0
+		for {
+			spill, ok := buf.NextSpill()
+			if !ok {
+				supportErr <- nil
+				return
+			}
+			consumeStart := time.Now()
+			name := fmt.Sprintf("%s/m%05d/spill%04d", job.filePrefix, taskIdx, spillSeq)
+			spillSeq++
+			idx, err := writeSpillRun(disk, name, job.NumReducers, spill.Records, job, job.Combine, tm)
+			if err != nil {
+				buf.Release(spill, time.Since(consumeStart))
+				supportErr <- err
+				return
+			}
+			runs = append(runs, idx)
+			buf.Release(spill, time.Since(consumeStart))
+		}
+	}()
+
+	// Map goroutine: read the split and apply map().
+	scanner, err := openLines(c.FS, split, node)
+	if err != nil {
+		buf.Close()
+		<-supportErr
+		return fail(err)
+	}
+	mc.scanner = scanner
+	mapper := job.NewMapper()
+	mc.mark = time.Now()
+	var mapErr error
+	for {
+		off, line, ok, err := scanner.Next()
+		if err != nil {
+			mapErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		tm.Inc(metrics.CtrMapInputRecords, 1)
+		if err := mapper.Map(off, line, mc); err != nil {
+			mapErr = fmt.Errorf("map(): %w", err)
+			break
+		}
+	}
+	mc.finish()
+	scanner.Close()
+
+	// Drain the frequency buffer: its aggregates join the merge directly.
+	var drained []kvio.Record
+	if freq != nil && mapErr == nil {
+		t0 := time.Now()
+		before := mc.combineAcc
+		drained, err = freq.Drain()
+		tm.Add(metrics.OpProfile, time.Since(t0)-(mc.combineAcc-before))
+		if err != nil {
+			mapErr = err
+		}
+		report.FreqStats = freq.Stats()
+		tm.Inc(metrics.CtrFreqMisses, report.FreqStats.Misses)
+		tm.Inc(metrics.CtrFreqProfiled, report.FreqStats.Profiled)
+	}
+
+	buf.Close()
+	if err := <-supportErr; err != nil && mapErr == nil {
+		mapErr = fmt.Errorf("support thread: %w", err)
+	}
+	if mapErr != nil {
+		return fail(mapErr)
+	}
+
+	// Merge all spill runs (plus drained frequent-key aggregates) into the
+	// final partitioned map output.
+	outName := fmt.Sprintf("%s/m%05d/out", job.filePrefix, taskIdx)
+	out, err := kvio.NewRunSink(disk, outName, job.NumReducers, job.CompressRuns)
+	if err != nil {
+		return fail(err)
+	}
+	var mergeCombineAcc time.Duration
+	timedMergeCombine := job.Combine
+	if job.Combine != nil {
+		timedMergeCombine = func(key []byte, vals [][]byte, emit func(k, v []byte) error) error {
+			t0 := time.Now()
+			err := job.Combine(key, vals, emit)
+			mergeCombineAcc += time.Since(t0)
+			return err
+		}
+	}
+	drainByPart := splitByPartition(drained, job.NumReducers)
+	for p := 0; p < job.NumReducers; p++ {
+		t0 := time.Now()
+		before := mergeCombineAcc
+		var streams []kvio.Stream
+		for _, run := range runs {
+			s, err := kvio.OpenRunPart(disk, run, p)
+			if err != nil {
+				return fail(err)
+			}
+			streams = append(streams, s)
+		}
+		if len(drainByPart[p]) > 0 {
+			streams = append(streams, kvio.NewSliceStream(drainByPart[p]))
+		}
+		if _, _, err := kvio.MergeInto(streams, p, out, timedMergeCombine); err != nil {
+			return fail(err)
+		}
+		delta := mergeCombineAcc - before
+		tm.Add(metrics.OpMerge, time.Since(t0)-delta)
+		tm.Add(metrics.OpCombineUser, delta)
+	}
+	outIdx, err := out.Close()
+	if err != nil {
+		return fail(err)
+	}
+	tm.Inc(metrics.CtrMergeBytes, outIdx.TotalBytes())
+
+	// Spill files are no longer needed.
+	for _, run := range runs {
+		_ = disk.Remove(run.Name)
+	}
+
+	report.Wall = time.Since(start)
+	report.Spill = buf.Stats()
+	report.Metrics = tm.Snapshot()
+	return mapOutput{node: node, index: outIdx}, report, nil
+}
+
+// splitByPartition groups already-sorted drained records by partition,
+// preserving key order within each partition.
+func splitByPartition(recs []kvio.Record, parts int) [][]kvio.Record {
+	out := make([][]kvio.Record, parts)
+	for _, r := range recs {
+		p := r.Part
+		if p < 0 || p >= parts {
+			p = 0 // untouched entries never absorbed a record; defensive
+		}
+		out[p] = append(out[p], r)
+	}
+	return out
+}

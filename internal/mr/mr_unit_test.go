@@ -1,0 +1,298 @@
+package mr
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mrtext/internal/cluster"
+	"mrtext/internal/core/spillmatch"
+	"mrtext/internal/metrics"
+	"mrtext/internal/serde"
+)
+
+func TestDefaultPartitionerRange(t *testing.T) {
+	keys := []string{"", "a", "hello", "world", "日本語", strings.Repeat("x", 1000)}
+	for _, parts := range []int{1, 2, 7, 64} {
+		for _, k := range keys {
+			p := DefaultPartitioner([]byte(k), parts)
+			if p < 0 || p >= parts {
+				t.Errorf("partition %d for %q over %d parts", p, k, parts)
+			}
+		}
+	}
+	// Deterministic.
+	if DefaultPartitioner([]byte("key"), 16) != DefaultPartitioner([]byte("key"), 16) {
+		t.Error("partitioner not deterministic")
+	}
+}
+
+func TestJobWithDefaultsValidation(t *testing.T) {
+	mkJob := func(mutate func(*Job)) *Job {
+		j := &Job{
+			Name:       "j",
+			Inputs:     []string{"in"},
+			NewMapper:  func() Mapper { return MapperFunc(func(int64, []byte, Collector) error { return nil }) },
+			NewReducer: func() Reducer { return ReducerFunc(func([]byte, ValueIter, Collector) error { return nil }) },
+		}
+		if mutate != nil {
+			mutate(j)
+		}
+		return j
+	}
+	if _, err := mkJob(func(j *Job) { j.Name = "" }).withDefaults(4); err == nil {
+		t.Error("nameless job accepted")
+	}
+	if _, err := mkJob(func(j *Job) { j.Inputs = nil }).withDefaults(4); err == nil {
+		t.Error("inputless job accepted")
+	}
+	if _, err := mkJob(func(j *Job) { j.NewMapper = nil }).withDefaults(4); err == nil {
+		t.Error("mapperless job accepted")
+	}
+	if _, err := mkJob(func(j *Job) { j.FreqBuf = &FreqBufConfig{K: 0} }).withDefaults(4); err == nil {
+		t.Error("freqbuf K=0 accepted")
+	}
+	job, err := mkJob(nil).withDefaults(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.NumReducers != 4 || job.SpillBufferBytes != 4<<20 ||
+		job.StaticSpillPercent != spillmatch.DefaultStaticPercent ||
+		job.Partition == nil || job.OutputPrefix == "" || job.filePrefix == "" {
+		t.Errorf("defaults not applied: %+v", job)
+	}
+	// Unique file prefixes across runs.
+	job2, _ := mkJob(nil).withDefaults(4)
+	if job.filePrefix == job2.filePrefix {
+		t.Error("file prefixes collide across runs")
+	}
+	// MemFraction repair.
+	job3, err := mkJob(func(j *Job) { j.FreqBuf = &FreqBufConfig{K: 10, MemFraction: 5} }).withDefaults(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job3.FreqBuf.MemFraction != 0.3 {
+		t.Errorf("MemFraction %g", job3.FreqBuf.MemFraction)
+	}
+}
+
+func TestNewControllerSelection(t *testing.T) {
+	j := &Job{SpillMatcher: false, StaticSpillPercent: 0.7}
+	if _, ok := j.newController().(*spillmatch.Static); !ok {
+		t.Error("baseline job did not get a static controller")
+	}
+	j.SpillMatcher = true
+	if _, ok := j.newController().(*spillmatch.Matcher); !ok {
+		t.Error("spill-matcher job did not get a Matcher")
+	}
+	// Per-task controllers are independent instances.
+	if j.newController() == j.newController() {
+		t.Error("controllers shared across tasks")
+	}
+}
+
+func TestMapperErrorPropagates(t *testing.T) {
+	c, err := cluster.New(cluster.Fast(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FS.WriteFile("in", []byte("line one\nline two\n")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("mapper exploded")
+	job := &Job{
+		Name:   "failing",
+		Inputs: []string{"in"},
+		NewMapper: func() Mapper {
+			return MapperFunc(func(off int64, line []byte, out Collector) error { return boom })
+		},
+		NewReducer: func() Reducer {
+			return ReducerFunc(func(k []byte, v ValueIter, out Collector) error { return nil })
+		},
+	}
+	if _, err := Run(c, job); err == nil || !errors.Is(err, boom) {
+		t.Errorf("mapper error not propagated: %v", err)
+	}
+}
+
+func TestReducerErrorPropagates(t *testing.T) {
+	c, err := cluster.New(cluster.Fast(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FS.WriteFile("in", []byte("word\n")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("reducer exploded")
+	job := &Job{
+		Name:   "failing-reduce",
+		Inputs: []string{"in"},
+		NewMapper: func() Mapper {
+			return MapperFunc(func(off int64, line []byte, out Collector) error {
+				return out.Collect(line, serde.EncodeInt64(1))
+			})
+		},
+		NewReducer: func() Reducer {
+			return ReducerFunc(func(k []byte, v ValueIter, out Collector) error { return boom })
+		},
+	}
+	if _, err := Run(c, job); err == nil || !errors.Is(err, boom) {
+		t.Errorf("reducer error not propagated: %v", err)
+	}
+}
+
+func TestSchedulerLocalityAndStealing(t *testing.T) {
+	splits := []Split{
+		{Hosts: []int{0}}, {Hosts: []int{0}}, {Hosts: []int{0}},
+		{Hosts: []int{1}},
+		{Hosts: []int{99}}, // orphan: bogus host
+	}
+	s := newScheduler(2, splits)
+	// Node 1 takes its local task first.
+	task, ok := s.take(1)
+	if !ok || task != 3 {
+		t.Errorf("node 1 first take: %d %v", task, ok)
+	}
+	// Then the orphan.
+	task, ok = s.take(1)
+	if !ok || task != 4 {
+		t.Errorf("node 1 orphan take: %d %v", task, ok)
+	}
+	// Then steals from node 0's tail.
+	task, ok = s.take(1)
+	if !ok || task != 2 {
+		t.Errorf("node 1 steal: %d %v", task, ok)
+	}
+	// Node 0 keeps its head.
+	task, ok = s.take(0)
+	if !ok || task != 0 {
+		t.Errorf("node 0 take: %d %v", task, ok)
+	}
+	s.take(0)
+	if _, ok := s.take(0); ok {
+		t.Error("take from drained scheduler succeeded")
+	}
+	// Abort stops handing out work.
+	s2 := newScheduler(1, splits[:1])
+	s2.abort()
+	if _, ok := s2.take(0); ok {
+		t.Error("take after abort succeeded")
+	}
+}
+
+func TestSortTaskReports(t *testing.T) {
+	reports := []TaskReport{
+		{Kind: "reduce", Index: 1},
+		{Kind: "map", Index: 2},
+		{Kind: "reduce", Index: 0},
+		{Kind: "map", Index: 0},
+	}
+	SortTaskReports(reports)
+	want := []struct {
+		kind string
+		idx  int
+	}{{"map", 0}, {"map", 2}, {"reduce", 0}, {"reduce", 1}}
+	for i, w := range want {
+		if reports[i].Kind != w.kind || reports[i].Index != w.idx {
+			t.Fatalf("pos %d: %s/%d", i, reports[i].Kind, reports[i].Index)
+		}
+	}
+}
+
+func TestResultIdleFractions(t *testing.T) {
+	mk := func(wall, waitMap, waitSup time.Duration) TaskReport {
+		tm := metrics.NewTaskMetrics()
+		tm.AddWaitMap(waitMap)
+		tm.AddWaitSupport(waitSup)
+		return TaskReport{Kind: "map", Wall: wall, Metrics: tm.Snapshot()}
+	}
+	res := &Result{Tasks: []TaskReport{
+		mk(10*time.Second, 2*time.Second, 4*time.Second),
+		mk(10*time.Second, 4*time.Second, 0),
+		{Kind: "reduce", Wall: time.Hour}, // ignored
+	}}
+	if got := res.MapIdleFraction(); got != 0.3 {
+		t.Errorf("map idle %g", got)
+	}
+	if got := res.SupportIdleFraction(); got != 0.2 {
+		t.Errorf("support idle %g", got)
+	}
+	var empty Result
+	if empty.MapIdleFraction() != 0 {
+		t.Error("empty result idle fraction non-zero")
+	}
+}
+
+func TestReduceOutputName(t *testing.T) {
+	if got := ReduceOutputName("job-out", 3); got != "job-out-r-00003" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestRunWithSingleReducer(t *testing.T) {
+	c, err := cluster.New(cluster.Fast(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FS.WriteFile("in", []byte("b\na\nb\n")); err != nil {
+		t.Fatal(err)
+	}
+	job := &Job{
+		Name:   "single-r",
+		Inputs: []string{"in"},
+		NewMapper: func() Mapper {
+			return MapperFunc(func(off int64, line []byte, out Collector) error {
+				if len(line) == 0 {
+					return nil
+				}
+				return out.Collect(line, serde.EncodeInt64(1))
+			})
+		},
+		NewReducer: func() Reducer {
+			return ReducerFunc(func(k []byte, vals ValueIter, out Collector) error {
+				var n int64
+				for {
+					v, ok, err := vals.Next()
+					if err != nil {
+						return err
+					}
+					if !ok {
+						break
+					}
+					d, err := serde.DecodeInt64(v)
+					if err != nil {
+						return err
+					}
+					n += d
+				}
+				return out.Collect(k, serde.EncodeInt64(n))
+			})
+		},
+		Format: func(k, v []byte) ([]byte, error) {
+			n, err := serde.DecodeInt64(v)
+			if err != nil {
+				return nil, err
+			}
+			return []byte(string(k) + ":" + string(rune('0'+n)) + "\n"), nil
+		},
+		NumReducers: 1,
+	}
+	res, err := Run(c, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 1 {
+		t.Fatalf("outputs %v", res.Outputs)
+	}
+	data, err := c.FS.ReadFile(res.Outputs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a:1\nb:2\n" {
+		t.Errorf("output %q", data)
+	}
+	if res.MapTasks < 1 || res.ReduceTasks != 1 || res.Wall <= 0 {
+		t.Errorf("result metadata %+v", res)
+	}
+}

@@ -1,0 +1,202 @@
+package mr
+
+import (
+	"bufio"
+	"fmt"
+	"time"
+
+	"mrtext/internal/cluster"
+	"mrtext/internal/kvio"
+	"mrtext/internal/metrics"
+	"mrtext/internal/serde"
+)
+
+// chargedStream wraps a Stream whose records flow from a remote map node:
+// it counts shuffle volume and charges the fabric in MTU-sized batches
+// (per-record charging would pay the per-transfer latency millions of
+// times; a real shuffle server streams frames).
+type chargedStream struct {
+	inner   kvio.Stream
+	c       *cluster.Cluster
+	src     int
+	dst     int
+	tm      *metrics.TaskMetrics
+	pending int64
+}
+
+// shuffleBatchBytes is the transfer granularity of the simulated shuffle
+// server.
+const shuffleBatchBytes = 64 << 10
+
+func (s *chargedStream) Next() (key, value []byte, err error) {
+	k, v, err := s.inner.Next()
+	if err != nil {
+		return k, v, err
+	}
+	n := int64(len(k) + len(v) + 4)
+	s.tm.Inc(metrics.CtrShuffleBytes, n)
+	if s.src != s.dst {
+		s.pending += n
+		if s.pending >= shuffleBatchBytes {
+			if terr := s.flush(); terr != nil {
+				return nil, nil, terr
+			}
+		}
+	}
+	return k, v, nil
+}
+
+func (s *chargedStream) flush() error {
+	n := s.pending
+	s.pending = 0
+	if n == 0 {
+		return nil
+	}
+	return s.c.Net.Transfer(s.src, s.dst, n)
+}
+
+func (s *chargedStream) Close() error {
+	if err := s.flush(); err != nil {
+		s.inner.Close()
+		return err
+	}
+	return s.inner.Close()
+}
+
+// groupValues adapts a Merger group to the user-facing ValueIter, timing
+// value pulls as shuffle work so user reduce() time is measured cleanly.
+type groupValues struct {
+	m       *kvio.Merger
+	pullAcc *time.Duration
+	values  int64
+}
+
+func (g *groupValues) Next() (value []byte, ok bool, err error) {
+	t0 := time.Now()
+	v, ok, err := g.m.NextValue()
+	*g.pullAcc += time.Since(t0)
+	if ok {
+		g.values++
+	}
+	return v, ok, err
+}
+
+// reduceCollector writes final output records through the job's format,
+// timing output I/O separately from user reduce time.
+type reduceCollector struct {
+	job    *Job
+	w      *serde.Writer
+	bufw   *bufio.Writer
+	tm     *metrics.TaskMetrics
+	ioAcc  *time.Duration
+	groups int64
+	values int64
+}
+
+func (rc *reduceCollector) Collect(key, value []byte) error {
+	t0 := time.Now()
+	defer func() { *rc.ioAcc += time.Since(t0) }()
+	rc.tm.Inc(metrics.CtrOutputRecords, 1)
+	if rc.job.Format != nil {
+		line, err := rc.job.Format(key, value)
+		if err != nil {
+			return fmt.Errorf("mr: formatting output: %w", err)
+		}
+		rc.tm.Inc(metrics.CtrOutputBytes, int64(len(line)))
+		_, err = rc.bufw.Write(line)
+		return err
+	}
+	rc.tm.Inc(metrics.CtrOutputBytes, int64(serde.KVLen(len(key), len(value))))
+	return rc.w.WriteKV(key, value)
+}
+
+// ReduceOutputName returns the DFS name of partition r's output file.
+func ReduceOutputName(prefix string, r int) string {
+	return fmt.Sprintf("%s-r-%05d", prefix, r)
+}
+
+// runReduceTask executes one reduce task: fetch this partition of every map
+// output (local reads for co-located outputs, fabric transfers otherwise),
+// merge-sort, group, apply reduce(), and write the final output to the DFS.
+func runReduceTask(c *cluster.Cluster, job *Job, part, node int, mapOuts []mapOutput) (string, TaskReport, error) {
+	start := time.Now()
+	tm := metrics.NewTaskMetrics()
+	report := TaskReport{Kind: "reduce", Index: part, Node: node}
+	fail := func(err error) (string, TaskReport, error) {
+		report.Wall = time.Since(start)
+		report.Metrics = tm.Snapshot()
+		return "", report, fmt.Errorf("mr: reduce task %d (node %d): %w", part, node, err)
+	}
+
+	// Shuffle: open this partition's segment of every map output.
+	shuffleStart := time.Now()
+	streams := make([]kvio.Stream, 0, len(mapOuts))
+	for _, mo := range mapOuts {
+		s, err := kvio.OpenRunPart(c.Disks[mo.node], mo.index, part)
+		if err != nil {
+			for _, os := range streams {
+				os.Close()
+			}
+			return fail(err)
+		}
+		streams = append(streams, &chargedStream{inner: s, c: c, src: mo.node, dst: node, tm: tm})
+	}
+	merger, err := kvio.NewMerger(streams)
+	if err != nil {
+		return fail(err)
+	}
+	defer merger.Close()
+	tm.Add(metrics.OpShuffle, time.Since(shuffleStart))
+
+	outName := ReduceOutputName(job.OutputPrefix, part)
+	outFile, err := c.FS.Create(outName, node)
+	if err != nil {
+		return fail(err)
+	}
+	bufw := bufio.NewWriterSize(outFile, 64<<10)
+	var pullAcc, ioAcc time.Duration
+	rc := &reduceCollector{job: job, w: serde.NewWriter(bufw), bufw: bufw, tm: tm, ioAcc: &ioAcc}
+	reducer := job.NewReducer()
+
+	for {
+		t0 := time.Now()
+		key, ok, err := merger.NextGroup()
+		tm.Add(metrics.OpShuffle, time.Since(t0))
+		if err != nil {
+			outFile.Close()
+			return fail(err)
+		}
+		if !ok {
+			break
+		}
+		tm.Inc(metrics.CtrReduceInputGroups, 1)
+		iter := &groupValues{m: merger, pullAcc: &pullAcc}
+		g0 := time.Now()
+		pullBefore, ioBefore := pullAcc, ioAcc
+		if err := reducer.Reduce(key, iter, rc); err != nil {
+			outFile.Close()
+			return fail(fmt.Errorf("reduce(): %w", err))
+		}
+		tm.Inc(metrics.CtrReduceInputValues, iter.values)
+		total := time.Since(g0)
+		pullDelta := pullAcc - pullBefore
+		ioDelta := ioAcc - ioBefore
+		tm.Add(metrics.OpShuffle, pullDelta)
+		tm.Add(metrics.OpOutputIO, ioDelta)
+		tm.Add(metrics.OpReduceUser, total-pullDelta-ioDelta)
+	}
+
+	t0 := time.Now()
+	if err := bufw.Flush(); err != nil {
+		outFile.Close()
+		return fail(err)
+	}
+	if err := outFile.Close(); err != nil {
+		return fail(err)
+	}
+	tm.Add(metrics.OpOutputIO, time.Since(t0))
+
+	report.Wall = time.Since(start)
+	report.Metrics = tm.Snapshot()
+	return outName, report, nil
+}

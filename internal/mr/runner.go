@@ -1,0 +1,188 @@
+package mr
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"mrtext/internal/cluster"
+)
+
+// Run executes a job on the cluster and blocks until completion. Map tasks
+// are placed data-locally (the node holding the split's primary replica)
+// with work stealing to keep slots busy; reduce tasks are placed
+// round-robin. The paper's configuration of "12 mappers and 12 reducers on
+// 6 machines" corresponds to 2 map + 2 reduce slots per node.
+func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
+	job, err := spec.withDefaults(c.TotalReduceSlots())
+	if err != nil {
+		return nil, err
+	}
+	splits, err := computeSplits(c.FS, job.Inputs)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	res := &Result{Job: job.Name, MapTasks: len(splits), ReduceTasks: job.NumReducers}
+
+	// ----- Map phase -----
+	sched := newScheduler(c.Nodes(), splits)
+	mapOuts := make([]mapOutput, len(splits))
+	mapReports := make([]TaskReport, len(splits))
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	setErr := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			sched.abort()
+		})
+	}
+	for node := 0; node < c.Nodes(); node++ {
+		for slot := 0; slot < c.MapSlots(); slot++ {
+			wg.Add(1)
+			go func(node int) {
+				defer wg.Done()
+				for {
+					taskIdx, ok := sched.take(node)
+					if !ok {
+						return
+					}
+					out, rep, err := runMapTask(c, job, taskIdx, splits[taskIdx], node)
+					mapOuts[taskIdx] = out
+					mapReports[taskIdx] = rep
+					if err != nil {
+						setErr(err)
+						return
+					}
+				}
+			}(node)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.MapWall = time.Since(start)
+
+	// ----- Reduce phase -----
+	reduceStart := time.Now()
+	outputs := make([]string, job.NumReducers)
+	reduceReports := make([]TaskReport, job.NumReducers)
+	slots := make([]chan struct{}, c.Nodes())
+	for n := range slots {
+		slots[n] = make(chan struct{}, c.ReduceSlots())
+	}
+	var rwg sync.WaitGroup
+	for r := 0; r < job.NumReducers; r++ {
+		node := r % c.Nodes()
+		rwg.Add(1)
+		go func(r, node int) {
+			defer rwg.Done()
+			slots[node] <- struct{}{}
+			defer func() { <-slots[node] }()
+			out, rep, err := runReduceTask(c, job, r, node, mapOuts)
+			outputs[r] = out
+			reduceReports[r] = rep
+			if err != nil {
+				setErr(err)
+			}
+		}(r, node)
+	}
+	rwg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.ReduceWall = time.Since(reduceStart)
+	res.Wall = time.Since(start)
+	res.Outputs = outputs
+
+	// Intermediate map outputs are no longer needed.
+	for _, mo := range mapOuts {
+		_ = c.Disks[mo.node].Remove(mo.index.Name)
+	}
+
+	res.Tasks = append(append([]TaskReport(nil), mapReports...), reduceReports...)
+	for _, t := range res.Tasks {
+		res.Agg.Merge(t.Metrics)
+	}
+	return res, nil
+}
+
+// scheduler hands out map tasks with locality preference and work stealing.
+type scheduler struct {
+	mu      sync.Mutex
+	queues  [][]int // per-node pending task indexes
+	orphans []int   // tasks whose primary host is out of range
+	aborted bool
+}
+
+func newScheduler(nodes int, splits []Split) *scheduler {
+	s := &scheduler{queues: make([][]int, nodes)}
+	for i, sp := range splits {
+		host := -1
+		if len(sp.Hosts) > 0 && sp.Hosts[0] >= 0 && sp.Hosts[0] < nodes {
+			host = sp.Hosts[0]
+		}
+		if host < 0 {
+			s.orphans = append(s.orphans, i)
+		} else {
+			s.queues[host] = append(s.queues[host], i)
+		}
+	}
+	return s
+}
+
+// take pops a task for the given node: local first, then the orphan pool,
+// then stealing from the longest queue.
+func (s *scheduler) take(node int) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aborted {
+		return 0, false
+	}
+	if q := s.queues[node]; len(q) > 0 {
+		task := q[0]
+		s.queues[node] = q[1:]
+		return task, true
+	}
+	if len(s.orphans) > 0 {
+		task := s.orphans[0]
+		s.orphans = s.orphans[1:]
+		return task, true
+	}
+	// Steal from the longest queue.
+	victim, max := -1, 0
+	for n, q := range s.queues {
+		if len(q) > max {
+			victim, max = n, len(q)
+		}
+	}
+	if victim < 0 {
+		return 0, false
+	}
+	q := s.queues[victim]
+	task := q[len(q)-1] // steal from the tail: the head stays local
+	s.queues[victim] = q[:len(q)-1]
+	return task, true
+}
+
+func (s *scheduler) abort() {
+	s.mu.Lock()
+	s.aborted = true
+	s.mu.Unlock()
+}
+
+// SortTaskReports orders reports map-first then by index, for stable
+// experiment output.
+func SortTaskReports(reports []TaskReport) {
+	sort.SliceStable(reports, func(i, j int) bool {
+		if reports[i].Kind != reports[j].Kind {
+			return reports[i].Kind == "map"
+		}
+		return reports[i].Index < reports[j].Index
+	})
+}

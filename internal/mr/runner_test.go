@@ -1,0 +1,201 @@
+package mr_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mrtext/internal/apps"
+	"mrtext/internal/cluster"
+	"mrtext/internal/mr"
+	"mrtext/internal/textgen"
+)
+
+// newTextCluster builds a fast in-memory cluster preloaded with a small
+// Zipfian corpus.
+func newTextCluster(t *testing.T, nodes int, corpusBytes int64) (*cluster.Cluster, string) {
+	t.Helper()
+	c, err := cluster.New(cluster.Fast(nodes))
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	w, err := c.FS.Create("corpus.txt", 0)
+	if err != nil {
+		t.Fatalf("create corpus: %v", err)
+	}
+	cfg := textgen.CorpusConfig{Vocabulary: 5000, Alpha: 1.0, WordsPerLine: 8, Seed: 42}
+	if _, err := textgen.Corpus(w, cfg, corpusBytes); err != nil {
+		t.Fatalf("generate corpus: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close corpus: %v", err)
+	}
+	return c, "corpus.txt"
+}
+
+// readOutputs concatenates the job's reduce outputs by partition.
+func readOutputs(t *testing.T, c *cluster.Cluster, res *mr.Result) map[int][]byte {
+	t.Helper()
+	out := make(map[int][]byte, len(res.Outputs))
+	for r, name := range res.Outputs {
+		data, err := c.FS.ReadFile(name)
+		if err != nil {
+			t.Fatalf("reading output %s: %v", name, err)
+		}
+		out[r] = data
+	}
+	return out
+}
+
+// configurations mirrors the paper's four test scenarios.
+var configurations = []struct {
+	name  string
+	apply func(j *mr.Job)
+}{
+	{"baseline", func(j *mr.Job) {}},
+	{"freqbuf", func(j *mr.Job) {
+		j.FreqBuf = &mr.FreqBufConfig{K: 100, SampleFraction: 0.05, MemFraction: 0.3, ShareTopK: true}
+	}},
+	{"spillmatcher", func(j *mr.Job) { j.SpillMatcher = true }},
+	{"combined", func(j *mr.Job) {
+		j.FreqBuf = &mr.FreqBufConfig{K: 100, SampleFraction: 0.05, MemFraction: 0.3, ShareTopK: true}
+		j.SpillMatcher = true
+	}},
+}
+
+// TestWordCountMatchesReferenceAllConfigs is the central correctness
+// invariant: under every optimization configuration the job output is
+// byte-identical to the sequential reference execution.
+func TestWordCountMatchesReferenceAllConfigs(t *testing.T) {
+	c, corpus := newTextCluster(t, 3, 1<<20)
+
+	ref, err := mr.RunReference(c, apps.WordCount(corpus))
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+
+	for _, cfg := range configurations {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			job := apps.WordCount(corpus)
+			job.Name = "wc-" + cfg.name
+			job.SpillBufferBytes = 64 << 10 // force many spills
+			cfg.apply(job)
+			res, err := mr.Run(c, job)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			got := readOutputs(t, c, res)
+			if len(got) != len(ref) {
+				t.Fatalf("partitions: got %d want %d", len(got), len(ref))
+			}
+			for p := range ref {
+				if !bytes.Equal(got[p], ref[p]) {
+					t.Errorf("partition %d differs: got %d bytes, want %d bytes\nfirst got: %.120q\nfirst want: %.120q",
+						p, len(got[p]), len(ref[p]), firstDiff(got[p], ref[p]), firstDiff(ref[p], got[p]))
+				}
+			}
+			if rec := res.Agg.Counters["map.output.records"]; rec == 0 {
+				t.Error("no map output records recorded")
+			}
+		})
+	}
+}
+
+// firstDiff returns a window of a around the first byte where a and b
+// differ, for readable failure messages.
+func firstDiff(a, b []byte) []byte {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	start := i - 40
+	if start < 0 {
+		start = 0
+	}
+	end := i + 80
+	if end > len(a) {
+		end = len(a)
+	}
+	return a[start:end]
+}
+
+func TestAllAppsMatchReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	c, corpus := newTextCluster(t, 3, 512<<10)
+
+	// Access logs.
+	logCfg := textgen.LogConfig{URLs: 500, Alpha: 0.8, Seed: 7}
+	wv, err := c.FS.Create("visits.log", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := textgen.UserVisits(wv, logCfg, 256<<10); err != nil {
+		t.Fatal(err)
+	}
+	if err := wv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wr, err := c.FS.Create("rankings.tbl", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := textgen.Rankings(wr, logCfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := wr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Web graph.
+	gCfg := textgen.GraphConfig{Pages: 2000, Alpha: 1.0, MeanOutDegree: 5, Seed: 9}
+	wg, err := c.FS.Create("graph.tsv", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := textgen.WebGraph(wg, gCfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := wg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs := map[string]func() *mr.Job{
+		"wordcount":     func() *mr.Job { return apps.WordCount(corpus) },
+		"invertedindex": func() *mr.Job { return apps.InvertedIndex(corpus) },
+		"wordpostag":    func() *mr.Job { return apps.WordPOSTag(2, corpus) },
+		"accesslogsum":  func() *mr.Job { return apps.AccessLogSum("visits.log") },
+		"accesslogjoin": func() *mr.Job { return apps.AccessLogJoin("visits.log", "rankings.tbl") },
+		"pagerank":      func() *mr.Job { return apps.PageRank("graph.tsv", gCfg.Pages) },
+		"syntext":       func() *mr.Job { return apps.SynText(apps.SynTextConfig{CPUFactor: 2, Storage: 0.5}, corpus) },
+	}
+
+	for name, mk := range jobs {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			ref, err := mr.RunReference(c, mk())
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			for _, cfg := range configurations {
+				job := mk()
+				job.Name = fmt.Sprintf("%s-%s", name, cfg.name)
+				job.SpillBufferBytes = 128 << 10
+				cfg.apply(job)
+				res, err := mr.Run(c, job)
+				if err != nil {
+					t.Fatalf("%s/%s: run: %v", name, cfg.name, err)
+				}
+				got := readOutputs(t, c, res)
+				for p := range ref {
+					if !bytes.Equal(got[p], ref[p]) {
+						t.Errorf("%s/%s: partition %d differs (got %d bytes, want %d)",
+							name, cfg.name, p, len(got[p]), len(ref[p]))
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,31 @@
+package postag
+
+import "testing"
+
+func benchSentence(n int) [][]byte {
+	words := make([][]byte, n)
+	for i := range words {
+		words[i] = []byte{byte('a' + i%26), byte('a' + (i/26)%26), byte('a' + i%7)}
+	}
+	return words
+}
+
+func BenchmarkTagViterbiOnly(b *testing.B) {
+	tg := New(1)
+	sentence := benchSentence(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tg.Tag(sentence)
+	}
+	b.SetBytes(20)
+}
+
+func BenchmarkTagPaperIntensity(b *testing.B) {
+	tg := New(8)
+	sentence := benchSentence(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tg.Tag(sentence)
+	}
+	b.SetBytes(20)
+}

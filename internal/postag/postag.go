@@ -1,0 +1,240 @@
+// Package postag is the part-of-speech tagging substrate standing in for
+// the Apache OpenNLP tagger the paper's WordPOSTag benchmark uses. It is a
+// real (if modest) tagger: per-token scores come from orthographic features
+// (suffixes, prefixes, character classes, length), a sentence-level Viterbi
+// decode applies a tag-transition model, and an iterative rescoring loop
+// refines lexical scores against the neighbouring tags — the knob that
+// makes map() as CPU-dominant as OpenNLP is in the paper (Fig. 2 shows
+// WordPOSTag's user code at >90% of all work).
+//
+// The tagger is deterministic: the same sentence always yields the same
+// tags, so MapReduce runs are comparable against the sequential reference.
+package postag
+
+import (
+	"math"
+)
+
+// Tag is a universal-style part-of-speech tag.
+type Tag uint8
+
+// The tag set (12 universal tags).
+const (
+	Noun Tag = iota
+	Verb
+	Adj
+	Adv
+	Pron
+	Det
+	Adp
+	Num
+	Conj
+	Prt
+	Punct
+	Other
+	NumTags // sentinel
+)
+
+var tagNames = [NumTags]string{
+	"NOUN", "VERB", "ADJ", "ADV", "PRON", "DET",
+	"ADP", "NUM", "CONJ", "PRT", "PUNCT", "X",
+}
+
+// String returns the tag's name.
+func (t Tag) String() string {
+	if t >= NumTags {
+		return "?"
+	}
+	return tagNames[t]
+}
+
+// Tagger tags token sequences. Construct once per task and reuse; it is
+// not safe for concurrent use (it keeps scratch buffers).
+type Tagger struct {
+	iterations int
+	trans      [NumTags][NumTags]float64
+
+	// scratch
+	lexical [][NumTags]float64
+	anchor  [][NumTags]float64
+	delta   [][NumTags]float64
+	backp   [][NumTags]uint8
+	tags    []Tag
+}
+
+// New returns a Tagger whose rescoring loop runs the given number of
+// iterations — the CPU-intensity knob. 1 is a plain Viterbi decode; the
+// paper-scale WordPOSTag configuration uses a large value (see apps) so the
+// user map() dominates runtime as OpenNLP does.
+func New(iterations int) *Tagger {
+	if iterations < 1 {
+		iterations = 1
+	}
+	t := &Tagger{iterations: iterations}
+	t.initTransitions()
+	return t
+}
+
+// initTransitions fills a plausible fixed transition model: determiners
+// precede nouns/adjectives, adpositions precede determiners and nouns,
+// verbs follow nouns/pronouns, and so on. Magnitudes matter only
+// relatively.
+func (t *Tagger) initTransitions() {
+	for i := range t.trans {
+		for j := range t.trans[i] {
+			t.trans[i][j] = -2.0 // default mild penalty
+		}
+	}
+	set := func(a, b Tag, w float64) { t.trans[a][b] = w }
+	set(Det, Noun, 1.5)
+	set(Det, Adj, 1.0)
+	set(Adj, Noun, 1.4)
+	set(Adj, Adj, 0.2)
+	set(Noun, Verb, 1.2)
+	set(Pron, Verb, 1.3)
+	set(Verb, Det, 0.9)
+	set(Verb, Adv, 0.7)
+	set(Verb, Noun, 0.5)
+	set(Adv, Verb, 0.8)
+	set(Adv, Adj, 0.6)
+	set(Adp, Det, 1.1)
+	set(Adp, Noun, 0.9)
+	set(Noun, Adp, 0.6)
+	set(Noun, Conj, 0.4)
+	set(Conj, Noun, 0.6)
+	set(Conj, Verb, 0.4)
+	set(Num, Noun, 1.0)
+	set(Noun, Punct, 0.5)
+	set(Punct, Det, 0.5)
+	set(Prt, Verb, 0.7)
+	set(Verb, Prt, 0.6)
+}
+
+// lexicalScores fills the per-token tag scores from orthographic features.
+// Synthetic corpora have no real lexicon, so features hash the token's
+// characters; the function is intentionally arithmetic-heavy (transcendental
+// feature squashing per tag) because its cost models a real maxent model's
+// dot products.
+func (t *Tagger) lexicalScores(token []byte, out *[NumTags]float64) {
+	var h uint64 = 1469598103934665603 // FNV-64 offset
+	for _, c := range token {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	n := len(token)
+	var suffix uint64
+	for i := n - 3; i < n; i++ {
+		suffix = suffix << 8
+		if i >= 0 {
+			suffix |= uint64(token[i])
+		}
+	}
+	first := byte(0)
+	if n > 0 {
+		first = token[0]
+	}
+	digit := first >= '0' && first <= '9'
+	punct := n == 1 && !(first >= 'a' && first <= 'z') && !digit
+
+	for tag := Tag(0); tag < NumTags; tag++ {
+		// Mix token hash with the tag id into a pseudo feature weight,
+		// squashed to (-1, 1).
+		mix := h ^ (suffix * (uint64(tag)*2654435761 + 97))
+		mix ^= mix >> 33
+		mix *= 0xff51afd7ed558ccd
+		mix ^= mix >> 29
+		f := float64(int64(mix)) / float64(math.MaxInt64)
+		score := math.Tanh(f) + 0.1*math.Sin(f*float64(n+1))
+		switch {
+		case digit && tag == Num:
+			score += 6.0
+		case punct && tag == Punct:
+			score += 6.0
+		case n <= 2 && (tag == Det || tag == Adp || tag == Pron || tag == Conj):
+			score += 0.8 // short words skew closed-class
+		case n >= 8 && (tag == Noun || tag == Adj):
+			score += 0.6 // long words skew open-class
+		}
+		out[tag] = score
+	}
+}
+
+// Tag assigns a tag to every token of the sentence. The returned slice is
+// reused across calls.
+func (t *Tagger) Tag(tokens [][]byte) []Tag {
+	n := len(tokens)
+	if n == 0 {
+		return nil
+	}
+	if cap(t.lexical) < n {
+		t.lexical = make([][NumTags]float64, n)
+		t.anchor = make([][NumTags]float64, n)
+		t.delta = make([][NumTags]float64, n)
+		t.backp = make([][NumTags]uint8, n)
+		t.tags = make([]Tag, n)
+	}
+	lex := t.lexical[:n]
+	anchor := t.anchor[:n]
+	delta := t.delta[:n]
+	backp := t.backp[:n]
+	tags := t.tags[:n]
+
+	for i, tok := range tokens {
+		t.lexicalScores(tok, &anchor[i])
+		lex[i] = anchor[i]
+	}
+
+	for iter := 0; iter < t.iterations; iter++ {
+		// Viterbi decode under the current lexical scores.
+		delta[0] = lex[0]
+		for i := 1; i < n; i++ {
+			for cur := Tag(0); cur < NumTags; cur++ {
+				best := math.Inf(-1)
+				var bestPrev uint8
+				for prev := Tag(0); prev < NumTags; prev++ {
+					s := delta[i-1][prev] + t.trans[prev][cur]
+					if s > best {
+						best = s
+						bestPrev = uint8(prev)
+					}
+				}
+				delta[i][cur] = best + lex[i][cur]
+				backp[i][cur] = bestPrev
+			}
+		}
+		bestLast := Tag(0)
+		for tag := Tag(1); tag < NumTags; tag++ {
+			if delta[n-1][tag] > delta[n-1][bestLast] {
+				bestLast = tag
+			}
+		}
+		tags[n-1] = bestLast
+		for i := n - 1; i > 0; i-- {
+			tags[i-1] = Tag(backp[i][tags[i]])
+		}
+		if iter == t.iterations-1 {
+			break
+		}
+		// Rescoring: recompute each token's lexical scores as its anchor
+		// (orthographic) score plus an agreement term with the decoded
+		// neighbours, then decode again. Anchoring on the original scores
+		// keeps strong orthographic evidence (digits, punctuation) from
+		// dissolving over many iterations. This is the CPU-intensity loop.
+		for i := 0; i < n; i++ {
+			for tag := Tag(0); tag < NumTags; tag++ {
+				var ctx float64
+				if i > 0 {
+					ctx += t.trans[tags[i-1]][tag]
+				}
+				if i+1 < n {
+					ctx += t.trans[tag][tags[i+1]]
+				}
+				lex[i][tag] = anchor[i][tag] + 0.3*math.Tanh(ctx)
+			}
+		}
+	}
+	return tags
+}
+
+// Iterations returns the configured rescoring iteration count.
+func (t *Tagger) Iterations() int { return t.iterations }

@@ -1,0 +1,223 @@
+// Package spillbuf implements the map task's in-memory spill buffer: the
+// shared structure between the map goroutine (which applies the user's
+// map() and appends serialized records) and the support goroutine (which
+// sorts, combines and spills them to local disk). It is the direct
+// analogue of Hadoop's MapOutputBuffer + SpillThread pair that §II-C2 and
+// §IV of the paper analyze.
+//
+// Semantics follow the paper's model exactly:
+//
+//   - The buffer has a fixed byte budget M. Appended records accumulate as
+//     the "pending" region.
+//   - A spill is handed to the consumer when the consumer is free and the
+//     pending bytes have reached x·M, where x is the spill percentage
+//     supplied by a spillmatch.Controller (static 0.8 in the baseline,
+//     adaptive under the spill-matcher). The consumer takes *all* pending
+//     records — so if it was busy while the threshold was crossed the
+//     spill is larger, reproducing m_i = max{xM, min{(p/c)m_{i−1}, M−m_{i−1}}}.
+//   - The handed-off spill keeps occupying its bytes until the consumer
+//     Releases it; the producer blocks when pending + in-flight bytes hit
+//     M. Producer block time and consumer idle time are recorded as the
+//     map/support idle times of Table II.
+//
+// Per spill the buffer measures the producer's active production time and
+// the consumer's active consumption time and reports them to the
+// controller — the T_p/T_c measurements the spill-matcher adapts on.
+package spillbuf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mrtext/internal/core/spillmatch"
+	"mrtext/internal/kvio"
+	"mrtext/internal/metrics"
+)
+
+// ErrClosed is returned by Append after Close.
+var ErrClosed = errors.New("spillbuf: buffer is closed")
+
+// recordOverhead approximates per-record bookkeeping bytes charged against
+// the buffer budget (Hadoop charges 16 bytes of accounting per record in
+// io.sort.record.percent space; we fold it into one number).
+const recordOverhead = 16
+
+// Spill is one batch of records handed from the producer to the consumer.
+type Spill struct {
+	Records []kvio.Record
+	Bytes   int64
+	// Produce is the producer's active time (map() + emit, excluding
+	// blocked time) spent generating this spill's records.
+	Produce time.Duration
+	// Seq numbers spills from 0.
+	Seq int
+}
+
+// Buffer is the spill buffer. One producer and one consumer goroutine use
+// it concurrently (more consumers are permitted; the paper's configuration
+// is 1–1).
+type Buffer struct {
+	capacity int64
+	ctrl     spillmatch.Controller
+	tm       *metrics.TaskMetrics
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	pending      []kvio.Record
+	pendingBytes int64
+	inflight     int64
+	closed       bool
+	blocked      bool // producer currently blocked on a full buffer
+
+	produceMark time.Time     // producer's clock: end of its last Append (or creation)
+	produceAcc  time.Duration // active produce time accumulated for the pending spill
+	seq         int
+	spills      int
+	spillBytes  int64
+	maxPending  int64
+}
+
+// New creates a buffer of capacity bytes governed by ctrl; instrumentation
+// is recorded into tm (which may be nil).
+func New(capacity int64, ctrl spillmatch.Controller, tm *metrics.TaskMetrics) (*Buffer, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("spillbuf: capacity must be positive, got %d", capacity)
+	}
+	if ctrl == nil {
+		ctrl = spillmatch.NewStatic(spillmatch.DefaultStaticPercent)
+	}
+	b := &Buffer{capacity: capacity, ctrl: ctrl, tm: tm, produceMark: time.Now()}
+	b.cond = sync.NewCond(&b.mu)
+	return b, nil
+}
+
+// Capacity returns M.
+func (b *Buffer) Capacity() int64 { return b.capacity }
+
+// RecordBytes returns the buffer charge for one record.
+func RecordBytes(key, value []byte) int64 {
+	return int64(len(key)) + int64(len(value)) + recordOverhead
+}
+
+// Append adds one record (copying key and value). It blocks while the
+// buffer is full and returns ErrClosed after Close. The returned duration
+// is the time spent blocked, which the caller excludes from its own
+// operation accounting (it is already recorded as map-thread idle time).
+func (b *Buffer) Append(part int, key, value []byte) (time.Duration, error) {
+	now := time.Now()
+
+	var waited time.Duration
+	size := RecordBytes(key, value)
+	b.mu.Lock()
+	b.produceAcc += now.Sub(b.produceMark) // map()+emit work since last Append
+	for !b.closed && b.pendingBytes+b.inflight+size > b.capacity && !(b.pendingBytes == 0 && b.inflight == 0) {
+		b.blocked = true
+		b.cond.Broadcast() // wake the consumer: buffer-full also justifies a spill
+		waitStart := time.Now()
+		b.cond.Wait()
+		w := time.Since(waitStart)
+		waited += w
+		if b.tm != nil {
+			b.tm.AddWaitMap(w)
+		}
+	}
+	b.blocked = false
+	if b.closed {
+		b.mu.Unlock()
+		return waited, ErrClosed
+	}
+	rec := kvio.Record{
+		Part:  part,
+		Key:   append([]byte(nil), key...),
+		Value: append([]byte(nil), value...),
+	}
+	b.pending = append(b.pending, rec)
+	b.pendingBytes += size
+	if b.pendingBytes > b.maxPending {
+		b.maxPending = b.pendingBytes
+	}
+	ready := float64(b.pendingBytes) >= b.ctrl.Percent()*float64(b.capacity)
+	b.produceMark = time.Now()
+	b.mu.Unlock()
+	if ready {
+		b.cond.Broadcast()
+	}
+	return waited, nil
+}
+
+// Close signals end of input. The consumer will receive any remaining
+// pending records as a final spill and then be told the stream is done.
+func (b *Buffer) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// NextSpill blocks until a spill is available and returns it, or returns
+// ok=false when the buffer is closed and fully drained. Consumer idle time
+// is recorded as support-thread wait.
+func (b *Buffer) NextSpill() (s Spill, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		threshold := b.ctrl.Percent() * float64(b.capacity)
+		takeable := b.pendingBytes > 0 &&
+			(float64(b.pendingBytes) >= threshold || b.closed || b.blocked)
+		if takeable {
+			s = Spill{
+				Records: b.pending,
+				Bytes:   b.pendingBytes,
+				Produce: b.produceAcc,
+				Seq:     b.seq,
+			}
+			b.seq++
+			b.spills++
+			b.spillBytes += b.pendingBytes
+			b.inflight += b.pendingBytes
+			b.pending = nil
+			b.pendingBytes = 0
+			b.produceAcc = 0
+			return s, true
+		}
+		if b.closed && b.pendingBytes == 0 {
+			return Spill{}, false
+		}
+		waitStart := time.Now()
+		b.cond.Wait()
+		if b.tm != nil {
+			b.tm.AddWaitSupport(time.Since(waitStart))
+		}
+	}
+}
+
+// Release frees a consumed spill's bytes, reports its measurements to the
+// controller, and wakes a blocked producer. consume is the consumer's
+// active processing time for the spill.
+func (b *Buffer) Release(s Spill, consume time.Duration) {
+	b.mu.Lock()
+	b.inflight -= s.Bytes
+	if b.inflight < 0 {
+		b.inflight = 0
+	}
+	b.mu.Unlock()
+	b.ctrl.Record(s.Bytes, s.Produce, consume)
+	b.cond.Broadcast()
+}
+
+// Stats describes the buffer's activity after the task completes.
+type Stats struct {
+	Spills     int
+	SpillBytes int64
+	MaxPending int64
+}
+
+// Stats returns activity counters.
+func (b *Buffer) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{Spills: b.spills, SpillBytes: b.spillBytes, MaxPending: b.maxPending}
+}

@@ -1,0 +1,374 @@
+package spillbuf
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mrtext/internal/core/spillmatch"
+	"mrtext/internal/metrics"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, nil, nil); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	b, err := New(1<<10, nil, nil) // nil controller defaults to static 0.8
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Capacity() != 1<<10 {
+		t.Errorf("capacity %d", b.Capacity())
+	}
+}
+
+// TestAllRecordsDeliveredOnce: everything appended arrives at the consumer
+// exactly once, in order, under arbitrary interleavings.
+func TestAllRecordsDeliveredOnce(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		capacity := int64(256 + int(capRaw)*8)
+		b, err := New(capacity, spillmatch.NewStatic(0.5), nil)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		const n = 500
+
+		var got []int
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				s, ok := b.NextSpill()
+				if !ok {
+					return
+				}
+				for _, r := range s.Records {
+					got = append(got, int(r.Value[0])|int(r.Value[1])<<8)
+				}
+				b.Release(s, time.Microsecond)
+			}
+		}()
+		for i := 0; i < n; i++ {
+			v := []byte{byte(i), byte(i >> 8), 0}
+			v = append(v, make([]byte, rng.Intn(16))...)
+			if _, err := b.Append(i%4, []byte("key"), v); err != nil {
+				return false
+			}
+		}
+		b.Close()
+		<-done
+		if len(got) != n {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordsAreCopied(t *testing.T) {
+	b, err := New(1<<20, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("key")
+	val := []byte("value")
+	if _, err := b.Append(0, key, val); err != nil {
+		t.Fatal(err)
+	}
+	key[0] = 'X'
+	val[0] = 'X'
+	b.Close()
+	s, ok := b.NextSpill()
+	if !ok {
+		t.Fatal("no spill")
+	}
+	if string(s.Records[0].Key) != "key" || string(s.Records[0].Value) != "value" {
+		t.Errorf("buffers aliased: %q %q", s.Records[0].Key, s.Records[0].Value)
+	}
+	b.Release(s, 0)
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	b, err := New(1<<10, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	if _, err := b.Append(0, []byte("k"), []byte("v")); err != ErrClosed {
+		t.Errorf("append after close: %v", err)
+	}
+	if _, ok := b.NextSpill(); ok {
+		t.Error("spill from empty closed buffer")
+	}
+}
+
+func TestSpillTriggeredAtThreshold(t *testing.T) {
+	// Static x=0.5 over a 1 KiB buffer: the consumer must receive a spill
+	// once ~512 bytes accumulate, well before input ends.
+	b, err := New(1<<10, spillmatch.NewStatic(0.5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstSpill := make(chan Spill, 1)
+	go func() {
+		s, ok := b.NextSpill()
+		if ok {
+			firstSpill <- s
+			b.Release(s, 0)
+		}
+		for {
+			s, ok := b.NextSpill()
+			if !ok {
+				return
+			}
+			b.Release(s, 0)
+		}
+	}()
+	rec := make([]byte, 60)
+	for i := 0; i < 100; i++ {
+		if _, err := b.Append(0, []byte("k"), rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	select {
+	case s := <-firstSpill:
+		if s.Bytes < 512-100 || s.Bytes > 1<<10 {
+			t.Errorf("first spill %d bytes, threshold 512", s.Bytes)
+		}
+		if s.Seq != 0 {
+			t.Errorf("first spill seq %d", s.Seq)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no spill delivered")
+	}
+}
+
+func TestProducerBlocksWhenFull(t *testing.T) {
+	tm := metrics.NewTaskMetrics()
+	b, err := New(512, spillmatch.NewStatic(0.5), tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow consumer: holds each spill for a while.
+	go func() {
+		for {
+			s, ok := b.NextSpill()
+			if !ok {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+			b.Release(s, 20*time.Millisecond)
+		}
+	}()
+	rec := make([]byte, 40)
+	for i := 0; i < 50; i++ {
+		if _, err := b.Append(0, []byte("k"), rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	if tm.WaitMap() == 0 {
+		t.Error("producer never blocked despite a slow consumer and a tiny buffer")
+	}
+}
+
+func TestConsumerWaitAccounted(t *testing.T) {
+	tm := metrics.NewTaskMetrics()
+	b, err := New(1<<20, spillmatch.NewStatic(0.9), tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			s, ok := b.NextSpill()
+			if !ok {
+				return
+			}
+			b.Release(s, 0)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // consumer idles: nothing to take
+	b.Append(0, []byte("k"), []byte("v"))
+	b.Close()
+	<-done
+	if tm.WaitSupport() < 10*time.Millisecond {
+		t.Errorf("support wait %v not accounted", tm.WaitSupport())
+	}
+}
+
+func TestControllerReceivesMeasurements(t *testing.T) {
+	m := spillmatch.NewMatcher(spillmatch.DefaultConfig())
+	b, err := New(1<<10, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for i := 0; i < 64; i++ {
+			if _, err := b.Append(0, []byte("k"), make([]byte, 50)); err != nil {
+				return
+			}
+		}
+		b.Close()
+	}()
+	for {
+		s, ok := b.NextSpill()
+		if !ok {
+			break
+		}
+		b.Release(s, time.Millisecond)
+	}
+	if m.Spills() == 0 {
+		t.Error("controller saw no measurements")
+	}
+}
+
+func TestOversizeRecordAccepted(t *testing.T) {
+	// A single record larger than the whole buffer must still pass (when
+	// the buffer is otherwise empty), not deadlock.
+	b, err := New(64, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			s, ok := b.NextSpill()
+			if !ok {
+				return
+			}
+			b.Release(s, 0)
+		}
+	}()
+	if _, err := b.Append(0, []byte("k"), make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("oversize record deadlocked")
+	}
+}
+
+func TestStats(t *testing.T) {
+	b, err := New(1<<20, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b.Append(0, []byte("key"), []byte("value"))
+	}
+	b.Close()
+	var consumed int64
+	for {
+		s, ok := b.NextSpill()
+		if !ok {
+			break
+		}
+		consumed += s.Bytes
+		b.Release(s, 0)
+	}
+	st := b.Stats()
+	want := 10 * RecordBytes([]byte("key"), []byte("value"))
+	if st.SpillBytes != want || consumed != want {
+		t.Errorf("spill bytes %d / consumed %d, want %d", st.SpillBytes, consumed, want)
+	}
+	if st.Spills == 0 || st.MaxPending == 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestProduceTimeExcludesWaits(t *testing.T) {
+	// The per-spill produce measurement must not include time the producer
+	// spent blocked: feed fast, block hard, and check T_p stays well under
+	// wall time.
+	b, err := New(512, spillmatch.NewStatic(0.5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var produceTotal time.Duration
+	var mu sync.Mutex
+	go func() {
+		for {
+			s, ok := b.NextSpill()
+			if !ok {
+				return
+			}
+			mu.Lock()
+			produceTotal += s.Produce
+			mu.Unlock()
+			time.Sleep(10 * time.Millisecond) // force producer blocking
+			b.Release(s, 10*time.Millisecond)
+		}
+	}()
+	start := time.Now()
+	for i := 0; i < 60; i++ {
+		if _, err := b.Append(0, []byte("k"), make([]byte, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	wall := time.Since(start)
+	mu.Lock()
+	defer mu.Unlock()
+	if produceTotal > wall/2 {
+		t.Errorf("produce time %v vs wall %v: waits leaked into T_p", produceTotal, wall)
+	}
+}
+
+func TestManyProducersSingleConsumer(t *testing.T) {
+	// The buffer tolerates multiple producers (not the paper's shape, but
+	// the support for it must not corrupt accounting).
+	b, err := New(4<<10, spillmatch.NewStatic(0.5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			s, ok := b.NextSpill()
+			if !ok {
+				return
+			}
+			delivered += len(s.Records)
+			b.Release(s, 0)
+		}
+	}()
+	var wg sync.WaitGroup
+	const producers, per = 4, 100
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := b.Append(0, []byte(fmt.Sprintf("p%d", p)), []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	b.Close()
+	<-done
+	if delivered != producers*per {
+		t.Errorf("delivered %d records, want %d", delivered, producers*per)
+	}
+}

@@ -1,0 +1,285 @@
+// Package textgen generates the three dataset families of §V-A2, replacing
+// inputs we cannot ship (the 2008 Wikipedia dump, Pavlo et al.'s generated
+// access logs, and their synthetic web crawl) with deterministic synthetic
+// equivalents that preserve the one property the paper's optimizations
+// exploit: the key-frequency distributions.
+//
+//   - Corpus: Zipfian text (word frequency ∝ 1/rank^α, Fig. 3) with a
+//     natural-looking vocabulary where frequent words are short.
+//   - UserVisits + Rankings: the access-log schema of the Pavlo benchmark,
+//     with destination URLs drawn Zipf(α=0.8) following Breslau et al., as
+//     the paper's modified generator does.
+//   - WebGraph: a crawl whose in-link distribution is Zipf(α=1) following
+//     Adamic & Huberman, as used for PageRank.
+//
+// All generators stream to an io.Writer and are fully determined by their
+// seed, so every experiment is reproducible byte-for-byte.
+package textgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+
+	"mrtext/internal/core/zipfest"
+)
+
+// letters used to synthesize words (no vowel/consonant modeling needed; the
+// runtime treats words as opaque keys).
+const letters = "abcdefghijklmnopqrstuvwxyz"
+
+// WordForRank returns the synthetic vocabulary word of the given 1-based
+// frequency rank. Words are unique per rank and, like natural language,
+// frequent words are short: the encoding is a bijective base-26 numeral,
+// so ranks 1–26 are single letters, 27–702 two letters, and so on.
+func WordForRank(rank int64) string {
+	if rank < 1 {
+		rank = 1
+	}
+	var buf [16]byte
+	i := len(buf)
+	n := rank
+	for n > 0 {
+		n-- // bijective numeration
+		i--
+		buf[i] = letters[n%26]
+		n /= 26
+	}
+	return string(buf[i:])
+}
+
+// CorpusConfig parameterizes the text corpus generator.
+type CorpusConfig struct {
+	// Vocabulary is the number of distinct words (the paper's corpus has
+	// 24.7M over 1.45B tokens; scale proportionally).
+	Vocabulary int64
+	// Alpha is the Zipf exponent of word frequencies (≈1 for natural text).
+	Alpha float64
+	// WordsPerLine is the mean line length in words.
+	WordsPerLine int
+	// Seed makes the corpus deterministic.
+	Seed int64
+}
+
+// DefaultCorpus is a laptop-scale stand-in for the Wikipedia dump.
+func DefaultCorpus() CorpusConfig {
+	return CorpusConfig{Vocabulary: 200_000, Alpha: 1.0, WordsPerLine: 10, Seed: 1}
+}
+
+// Corpus writes approximately targetBytes of Zipfian text to w and returns
+// the exact byte count written.
+func Corpus(w io.Writer, cfg CorpusConfig, targetBytes int64) (int64, error) {
+	if cfg.Vocabulary <= 0 || cfg.WordsPerLine <= 0 || targetBytes <= 0 {
+		return 0, fmt.Errorf("textgen: invalid corpus config %+v / target %d", cfg, targetBytes)
+	}
+	sampler, err := zipfest.NewSampler(cfg.Vocabulary, cfg.Alpha)
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bw := bufio.NewWriterSize(w, 64<<10)
+	var written int64
+	for written < targetBytes {
+		words := cfg.WordsPerLine/2 + rng.Intn(cfg.WordsPerLine)
+		if words < 1 {
+			words = 1
+		}
+		for i := 0; i < words; i++ {
+			word := WordForRank(sampler.Rank(rng.Float64()))
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return written, err
+				}
+				written++
+			}
+			n, err := bw.WriteString(word)
+			written += int64(n)
+			if err != nil {
+				return written, err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return written, err
+		}
+		written++
+	}
+	return written, bw.Flush()
+}
+
+// LogConfig parameterizes the access-log generators.
+type LogConfig struct {
+	// URLs is the number of distinct destination URLs (paper: ~600k).
+	URLs int64
+	// Alpha is the Zipf exponent of URL popularity (paper: 0.8).
+	Alpha float64
+	// Seed makes the log deterministic.
+	Seed int64
+}
+
+// DefaultLog is a laptop-scale stand-in for the Pavlo UserVisits data.
+func DefaultLog() LogConfig {
+	return LogConfig{URLs: 60_000, Alpha: 0.8, Seed: 2}
+}
+
+// URLForRank returns the synthetic URL of the given popularity rank.
+func URLForRank(rank int64) string {
+	return "example.org/" + WordForRank(rank) + ".html"
+}
+
+// UserVisits writes approximately targetBytes of visit records to w:
+//
+//	sourceIP|destURL|visitDate|adRevenueCents|userAgent|countryCode|duration
+//
+// (the Pavlo schema trimmed to the columns the benchmark queries touch,
+// with ad revenue in integer cents so aggregation is exact).
+func UserVisits(w io.Writer, cfg LogConfig, targetBytes int64) (int64, error) {
+	if cfg.URLs <= 0 || targetBytes <= 0 {
+		return 0, fmt.Errorf("textgen: invalid log config %+v / target %d", cfg, targetBytes)
+	}
+	sampler, err := zipfest.NewSampler(cfg.URLs, cfg.Alpha)
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bw := bufio.NewWriterSize(w, 64<<10)
+	agents := []string{"Mozilla/5.0", "Chrome/34.0", "Safari/7.0", "Opera/12.1", "curl/7.30"}
+	countries := []string{"USA", "DEU", "JPN", "BRA", "IND", "GBR", "FRA", "CHN"}
+	var written int64
+	line := make([]byte, 0, 160)
+	for written < targetBytes {
+		line = line[:0]
+		line = appendIP(line, rng)
+		line = append(line, '|')
+		line = append(line, URLForRank(sampler.Rank(rng.Float64()))...)
+		line = append(line, '|')
+		line = appendDate(line, rng)
+		line = append(line, '|')
+		line = strconv.AppendInt(line, 1+rng.Int63n(99_999), 10) // cents
+		line = append(line, '|')
+		line = append(line, agents[rng.Intn(len(agents))]...)
+		line = append(line, '|')
+		line = append(line, countries[rng.Intn(len(countries))]...)
+		line = append(line, '|')
+		line = strconv.AppendInt(line, 1+rng.Int63n(9_999), 10) // duration
+		line = append(line, '\n')
+		n, err := bw.Write(line)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// Rankings writes one ranking record per URL to w:
+//
+//	pageURL|pageRank|avgDuration
+func Rankings(w io.Writer, cfg LogConfig) (int64, error) {
+	if cfg.URLs <= 0 {
+		return 0, fmt.Errorf("textgen: invalid log config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	bw := bufio.NewWriterSize(w, 64<<10)
+	var written int64
+	line := make([]byte, 0, 96)
+	for i := int64(1); i <= cfg.URLs; i++ {
+		line = line[:0]
+		line = append(line, URLForRank(i)...)
+		line = append(line, '|')
+		line = strconv.AppendInt(line, 1+rng.Int63n(10_000), 10)
+		line = append(line, '|')
+		line = strconv.AppendInt(line, 1+rng.Int63n(300), 10)
+		line = append(line, '\n')
+		n, err := bw.Write(line)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// GraphConfig parameterizes the web-crawl generator.
+type GraphConfig struct {
+	// Pages is the number of pages (paper: 10M; scale proportionally).
+	Pages int64
+	// Alpha is the Zipf exponent of in-link popularity (paper: 1.0).
+	Alpha float64
+	// MeanOutDegree is the average number of outgoing links per page.
+	MeanOutDegree int
+	// Seed makes the graph deterministic.
+	Seed int64
+}
+
+// DefaultGraph is a laptop-scale stand-in for the synthetic crawl.
+func DefaultGraph() GraphConfig {
+	return GraphConfig{Pages: 100_000, Alpha: 1.0, MeanOutDegree: 8, Seed: 3}
+}
+
+// PageURL returns the synthetic URL of page i (0-based).
+func PageURL(i int64) string {
+	return "page/" + WordForRank(i+1)
+}
+
+// WebGraph writes the crawl to w, one page per line:
+//
+//	url<TAB>rank<TAB>out1,out2,...
+//
+// Every page appears exactly once with initial rank 1/Pages; link targets
+// are drawn Zipf(Alpha) so in-degrees are Zipfian. It returns the bytes
+// written.
+func WebGraph(w io.Writer, cfg GraphConfig) (int64, error) {
+	if cfg.Pages <= 0 || cfg.MeanOutDegree <= 0 {
+		return 0, fmt.Errorf("textgen: invalid graph config %+v", cfg)
+	}
+	sampler, err := zipfest.NewSampler(cfg.Pages, cfg.Alpha)
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bw := bufio.NewWriterSize(w, 64<<10)
+	initial := 1.0 / float64(cfg.Pages)
+	var written int64
+	line := make([]byte, 0, 256)
+	for i := int64(0); i < cfg.Pages; i++ {
+		line = line[:0]
+		line = append(line, PageURL(i)...)
+		line = append(line, '\t')
+		line = strconv.AppendFloat(line, initial, 'g', 12, 64)
+		line = append(line, '\t')
+		deg := 1 + rng.Intn(2*cfg.MeanOutDegree-1)
+		for d := 0; d < deg; d++ {
+			if d > 0 {
+				line = append(line, ',')
+			}
+			target := sampler.Rank(rng.Float64()) - 1
+			line = append(line, PageURL(target)...)
+		}
+		line = append(line, '\n')
+		n, err := bw.Write(line)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+func appendIP(dst []byte, rng *rand.Rand) []byte {
+	for i := 0; i < 4; i++ {
+		if i > 0 {
+			dst = append(dst, '.')
+		}
+		dst = strconv.AppendInt(dst, rng.Int63n(256), 10)
+	}
+	return dst
+}
+
+func appendDate(dst []byte, rng *rand.Rand) []byte {
+	y := 2008 + rng.Intn(6)
+	m := 1 + rng.Intn(12)
+	d := 1 + rng.Intn(28)
+	return append(dst, fmt.Sprintf("%04d-%02d-%02d", y, m, d)...)
+}

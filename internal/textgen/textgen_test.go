@@ -1,0 +1,247 @@
+package textgen
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mrtext/internal/core/topk"
+	"mrtext/internal/core/zipfest"
+)
+
+func TestWordForRankBijective(t *testing.T) {
+	seen := map[string]int64{}
+	for r := int64(1); r <= 20_000; r++ {
+		w := WordForRank(r)
+		if prev, dup := seen[w]; dup {
+			t.Fatalf("ranks %d and %d both map to %q", prev, r, w)
+		}
+		seen[w] = r
+	}
+	// Frequent words are short.
+	if len(WordForRank(1)) != 1 || len(WordForRank(26)) != 1 {
+		t.Error("ranks 1..26 should be single letters")
+	}
+	if len(WordForRank(27)) != 2 || len(WordForRank(702)) != 2 {
+		t.Error("ranks 27..702 should be two letters")
+	}
+	if WordForRank(0) != WordForRank(1) {
+		t.Error("rank 0 should clamp to 1")
+	}
+}
+
+func TestWordForRankLowercaseQuick(t *testing.T) {
+	f := func(r int64) bool {
+		if r < 0 {
+			r = -r
+		}
+		w := WordForRank(r%1_000_000 + 1)
+		for _, c := range w {
+			if c < 'a' || c > 'z' {
+				return false
+			}
+		}
+		return len(w) >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorpusDeterministicAndSized(t *testing.T) {
+	cfg := CorpusConfig{Vocabulary: 1000, Alpha: 1.0, WordsPerLine: 8, Seed: 5}
+	var a, b bytes.Buffer
+	na, err := Corpus(&a, cfg, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := Corpus(&b, cfg, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na != nb || !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("corpus not deterministic")
+	}
+	if na < 100_000 || na > 110_000 {
+		t.Errorf("size %d far from target", na)
+	}
+	if int64(a.Len()) != na {
+		t.Errorf("reported %d, wrote %d", na, a.Len())
+	}
+	if a.Bytes()[a.Len()-1] != '\n' {
+		t.Error("corpus does not end with newline")
+	}
+}
+
+func TestCorpusZipfShape(t *testing.T) {
+	cfg := CorpusConfig{Vocabulary: 5000, Alpha: 1.0, WordsPerLine: 10, Seed: 6}
+	var buf bytes.Buffer
+	if _, err := Corpus(&buf, cfg, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	exact := topk.NewExact()
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		for _, w := range bytes.Fields(sc.Bytes()) {
+			exact.Offer(string(w))
+		}
+	}
+	fit, err := zipfest.EstimateAlpha(exact.RankedCounts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Alpha < 0.75 || fit.Alpha > 1.25 {
+		t.Errorf("corpus alpha %g, configured 1.0", fit.Alpha)
+	}
+	// Rank 1 must be the single most common word "a".
+	if top := exact.Top(1); top[0].Key != "a" {
+		t.Errorf("top word %q", top[0].Key)
+	}
+}
+
+func TestCorpusValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Corpus(&buf, CorpusConfig{}, 100); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := Corpus(&buf, DefaultCorpus(), 0); err == nil {
+		t.Error("zero target accepted")
+	}
+}
+
+func TestUserVisitsSchema(t *testing.T) {
+	cfg := LogConfig{URLs: 100, Alpha: 0.8, Seed: 7}
+	var buf bytes.Buffer
+	if _, err := UserVisits(&buf, cfg, 50_000); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		f := strings.Split(sc.Text(), "|")
+		if len(f) != 7 {
+			t.Fatalf("line %d has %d fields: %q", lines, len(f), sc.Text())
+		}
+		if !strings.HasPrefix(f[1], "example.org/") {
+			t.Fatalf("bad URL %q", f[1])
+		}
+		if cents, err := strconv.ParseInt(f[3], 10, 64); err != nil || cents <= 0 {
+			t.Fatalf("bad revenue %q", f[3])
+		}
+		if len(strings.Split(f[0], ".")) != 4 {
+			t.Fatalf("bad IP %q", f[0])
+		}
+		if len(f[2]) != 10 || f[2][4] != '-' {
+			t.Fatalf("bad date %q", f[2])
+		}
+	}
+	if lines < 100 {
+		t.Errorf("only %d lines", lines)
+	}
+}
+
+func TestRankingsOnePerURL(t *testing.T) {
+	cfg := LogConfig{URLs: 250, Seed: 8}
+	var buf bytes.Buffer
+	if _, err := Rankings(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		f := strings.Split(sc.Text(), "|")
+		if len(f) != 3 {
+			t.Fatalf("bad ranking line %q", sc.Text())
+		}
+		if seen[f[0]] {
+			t.Fatalf("duplicate URL %q", f[0])
+		}
+		seen[f[0]] = true
+		if _, err := strconv.ParseInt(f[1], 10, 64); err != nil {
+			t.Fatalf("bad rank %q", f[1])
+		}
+	}
+	if len(seen) != 250 {
+		t.Errorf("%d URLs, want 250", len(seen))
+	}
+}
+
+func TestWebGraphFormat(t *testing.T) {
+	cfg := GraphConfig{Pages: 300, Alpha: 1.0, MeanOutDegree: 5, Seed: 9}
+	var buf bytes.Buffer
+	if _, err := WebGraph(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	pages := map[string]bool{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		f := strings.Split(sc.Text(), "\t")
+		if len(f) != 3 {
+			t.Fatalf("bad graph line %q", sc.Text())
+		}
+		if pages[f[0]] {
+			t.Fatalf("duplicate page %q", f[0])
+		}
+		pages[f[0]] = true
+		rank, err := strconv.ParseFloat(f[1], 64)
+		if err != nil || rank <= 0 {
+			t.Fatalf("bad rank %q", f[1])
+		}
+		links := strings.Split(f[2], ",")
+		if len(links) < 1 || len(links) > 2*cfg.MeanOutDegree {
+			t.Fatalf("out-degree %d out of range", len(links))
+		}
+		for _, l := range links {
+			if !strings.HasPrefix(l, "page/") {
+				t.Fatalf("bad link %q", l)
+			}
+		}
+	}
+	if len(pages) != 300 {
+		t.Errorf("%d pages, want 300", len(pages))
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	run := func() [3][]byte {
+		var v, r, g bytes.Buffer
+		UserVisits(&v, LogConfig{URLs: 50, Alpha: 0.8, Seed: 3}, 10_000)
+		Rankings(&r, LogConfig{URLs: 50, Seed: 3})
+		WebGraph(&g, GraphConfig{Pages: 50, Alpha: 1, MeanOutDegree: 3, Seed: 3})
+		return [3][]byte{v.Bytes(), r.Bytes(), g.Bytes()}
+	}
+	a, b := run(), run()
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Errorf("generator %d not deterministic", i)
+		}
+	}
+}
+
+func TestURLPopularityZipf(t *testing.T) {
+	// URL frequencies in a large visits log should be clearly skewed:
+	// the top URL appears far more often than the median one.
+	var buf bytes.Buffer
+	if _, err := UserVisits(&buf, LogConfig{URLs: 1000, Alpha: 0.8, Seed: 4}, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	counts := topk.NewExact()
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		f := strings.SplitN(sc.Text(), "|", 3)
+		counts.Offer(f[1])
+	}
+	top := counts.Top(1)[0]
+	if top.Key != URLForRank(1) {
+		t.Errorf("most popular URL %q, want %q", top.Key, URLForRank(1))
+	}
+	ranked := counts.RankedCounts()
+	median := ranked[len(ranked)/2]
+	if top.Count < 20*median {
+		t.Errorf("top URL %d vs median %d: distribution not skewed", top.Count, median)
+	}
+}

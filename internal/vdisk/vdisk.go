@@ -1,0 +1,355 @@
+// Package vdisk provides the local-disk substrate for the simulated cluster.
+//
+// The paper's experiments run on machines with two to four spinning disks;
+// spill I/O and merge I/O are a large share of the abstraction cost the
+// optimizations remove (Fig. 2, Fig. 8). At reproduction scale (tens of MB
+// instead of tens of GB) a modern machine's page cache would make that I/O
+// free and hide exactly the effect under study. vdisk therefore offers two
+// implementations behind one interface:
+//
+//   - Mem: a plain in-memory store, used by unit tests where timing does not
+//     matter.
+//   - Throttled: wraps any Disk and meters reads and writes at a configured
+//     bandwidth with a per-operation seek latency, modeling one shared
+//     2014-era SATA disk per node. Concurrent users of the same disk queue
+//     against each other, as they would on a real spindle.
+//
+// All implementations account bytes read and written, which the experiment
+// harness reports alongside timings.
+package vdisk
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors returned by Disk implementations.
+var (
+	ErrNotExist = errors.New("vdisk: file does not exist")
+	ErrExist    = errors.New("vdisk: file already exists")
+	ErrClosed   = errors.New("vdisk: file is closed")
+)
+
+// Disk is a minimal local filesystem: flat namespace, write-once files.
+// Implementations must be safe for concurrent use.
+type Disk interface {
+	// Create creates a new file for writing. The file becomes readable
+	// after Close.
+	Create(name string) (io.WriteCloser, error)
+	// Open opens an existing, closed file for reading.
+	Open(name string) (io.ReadCloser, error)
+	// OpenSection opens a byte range [off, off+length) of an existing,
+	// closed file for reading. It models the positioned reads a shuffle
+	// server uses to serve one partition of a map output file.
+	OpenSection(name string, off, length int64) (io.ReadCloser, error)
+	// Size returns the size of an existing, closed file.
+	Size(name string) (int64, error)
+	// Remove deletes a file.
+	Remove(name string) error
+	// Stats returns cumulative I/O accounting.
+	Stats() Stats
+}
+
+// Stats is cumulative disk accounting.
+type Stats struct {
+	BytesWritten int64
+	BytesRead    int64
+	Creates      int64
+	Opens        int64
+}
+
+// Mem is an in-memory Disk.
+type Mem struct {
+	mu    sync.Mutex
+	files map[string][]byte
+	open  map[string]bool // files being written, not yet readable
+	stats stats
+}
+
+type stats struct {
+	bytesWritten atomic.Int64
+	bytesRead    atomic.Int64
+	creates      atomic.Int64
+	opens        atomic.Int64
+}
+
+func (s *stats) snapshot() Stats {
+	return Stats{
+		BytesWritten: s.bytesWritten.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		Creates:      s.creates.Load(),
+		Opens:        s.opens.Load(),
+	}
+}
+
+// NewMem returns an empty in-memory disk.
+func NewMem() *Mem {
+	return &Mem{files: make(map[string][]byte), open: make(map[string]bool)}
+}
+
+// Create implements Disk.
+func (m *Mem) Create(name string) (io.WriteCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExist, name)
+	}
+	if m.open[name] {
+		return nil, fmt.Errorf("%w: %s", ErrExist, name)
+	}
+	m.open[name] = true
+	m.stats.creates.Add(1)
+	return &memWriter{disk: m, name: name}, nil
+}
+
+// Open implements Disk.
+func (m *Mem) Open(name string) (io.ReadCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	m.stats.opens.Add(1)
+	return &memReader{disk: m, data: data}, nil
+}
+
+// OpenSection implements Disk.
+func (m *Mem) OpenSection(name string, off, length int64) (io.ReadCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	if off < 0 || length < 0 || off+length > int64(len(data)) {
+		return nil, fmt.Errorf("vdisk: section [%d,%d) out of range for %s (%d bytes)", off, off+length, name, len(data))
+	}
+	m.stats.opens.Add(1)
+	return &memReader{disk: m, data: data[off : off+length]}, nil
+}
+
+// Size implements Disk.
+func (m *Mem) Size(name string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return int64(len(data)), nil
+}
+
+// Remove implements Disk.
+func (m *Mem) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// Stats implements Disk.
+func (m *Mem) Stats() Stats { return m.stats.snapshot() }
+
+// List returns the names of all readable files (testing helper).
+func (m *Mem) List() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for n := range m.files {
+		names = append(names, n)
+	}
+	return names
+}
+
+type memWriter struct {
+	disk   *Mem
+	name   string
+	buf    []byte
+	closed bool
+}
+
+func (w *memWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, ErrClosed
+	}
+	w.buf = append(w.buf, p...)
+	w.disk.stats.bytesWritten.Add(int64(len(p)))
+	return len(p), nil
+}
+
+func (w *memWriter) Close() error {
+	if w.closed {
+		return ErrClosed
+	}
+	w.closed = true
+	w.disk.mu.Lock()
+	defer w.disk.mu.Unlock()
+	w.disk.files[w.name] = w.buf
+	delete(w.disk.open, w.name)
+	return nil
+}
+
+type memReader struct {
+	disk   *Mem
+	data   []byte
+	off    int
+	closed bool
+}
+
+func (r *memReader) Read(p []byte) (int, error) {
+	if r.closed {
+		return 0, ErrClosed
+	}
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	r.disk.stats.bytesRead.Add(int64(n))
+	return n, nil
+}
+
+func (r *memReader) Close() error {
+	if r.closed {
+		return ErrClosed
+	}
+	r.closed = true
+	return nil
+}
+
+// ThrottleConfig describes the performance model of a Throttled disk.
+type ThrottleConfig struct {
+	// WriteBytesPerSec is the sustained write bandwidth. Zero disables
+	// write throttling.
+	WriteBytesPerSec int64
+	// ReadBytesPerSec is the sustained read bandwidth. Zero disables read
+	// throttling.
+	ReadBytesPerSec int64
+	// OpLatency is charged once per Create/Open, modeling a seek.
+	OpLatency time.Duration
+}
+
+// DefaultThrottle models one 2014-era 7200rpm SATA disk.
+func DefaultThrottle() ThrottleConfig {
+	return ThrottleConfig{
+		WriteBytesPerSec: 90 << 20,  // 90 MB/s
+		ReadBytesPerSec:  120 << 20, // 120 MB/s
+		OpLatency:        2 * time.Millisecond,
+	}
+}
+
+// Throttled wraps a Disk and meters its throughput. All files on one
+// Throttled share a single bandwidth budget: concurrent transfers queue, as
+// on one physical spindle.
+type Throttled struct {
+	inner Disk
+	cfg   ThrottleConfig
+
+	mu       sync.Mutex
+	nextFree time.Time // virtual time at which the disk head is free
+}
+
+// NewThrottled wraps inner with the given performance model.
+func NewThrottled(inner Disk, cfg ThrottleConfig) *Throttled {
+	return &Throttled{inner: inner, cfg: cfg}
+}
+
+// charge blocks the caller for the time a transfer of n bytes takes at the
+// given bandwidth, serializing against all other users of this disk.
+func (t *Throttled) charge(n int64, bytesPerSec int64, lat time.Duration) {
+	if bytesPerSec <= 0 && lat <= 0 {
+		return
+	}
+	var busy time.Duration
+	if bytesPerSec > 0 {
+		busy = time.Duration(float64(n) / float64(bytesPerSec) * float64(time.Second))
+	}
+	busy += lat
+	now := time.Now()
+	t.mu.Lock()
+	start := t.nextFree
+	if start.Before(now) {
+		start = now
+	}
+	t.nextFree = start.Add(busy)
+	deadline := t.nextFree
+	t.mu.Unlock()
+	if d := time.Until(deadline); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Create implements Disk.
+func (t *Throttled) Create(name string) (io.WriteCloser, error) {
+	w, err := t.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	t.charge(0, 0, t.cfg.OpLatency)
+	return &throttledWriter{t: t, w: w}, nil
+}
+
+// Open implements Disk.
+func (t *Throttled) Open(name string) (io.ReadCloser, error) {
+	r, err := t.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	t.charge(0, 0, t.cfg.OpLatency)
+	return &throttledReader{t: t, r: r}, nil
+}
+
+// OpenSection implements Disk.
+func (t *Throttled) OpenSection(name string, off, length int64) (io.ReadCloser, error) {
+	r, err := t.inner.OpenSection(name, off, length)
+	if err != nil {
+		return nil, err
+	}
+	t.charge(0, 0, t.cfg.OpLatency)
+	return &throttledReader{t: t, r: r}, nil
+}
+
+// Size implements Disk.
+func (t *Throttled) Size(name string) (int64, error) { return t.inner.Size(name) }
+
+// Remove implements Disk.
+func (t *Throttled) Remove(name string) error { return t.inner.Remove(name) }
+
+// Stats implements Disk.
+func (t *Throttled) Stats() Stats { return t.inner.Stats() }
+
+type throttledWriter struct {
+	t *Throttled
+	w io.WriteCloser
+}
+
+func (w *throttledWriter) Write(p []byte) (int, error) {
+	n, err := w.w.Write(p)
+	w.t.charge(int64(n), w.t.cfg.WriteBytesPerSec, 0)
+	return n, err
+}
+
+func (w *throttledWriter) Close() error { return w.w.Close() }
+
+type throttledReader struct {
+	t *Throttled
+	r io.ReadCloser
+}
+
+func (r *throttledReader) Read(p []byte) (int, error) {
+	n, err := r.r.Read(p)
+	if n > 0 {
+		r.t.charge(int64(n), r.t.cfg.ReadBytesPerSec, 0)
+	}
+	return n, err
+}
+
+func (r *throttledReader) Close() error { return r.r.Close() }

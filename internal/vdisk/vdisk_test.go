@@ -1,0 +1,222 @@
+package vdisk
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func writeFile(t *testing.T, d Disk, name string, data []byte) {
+	t.Helper()
+	w, err := d.Create(name)
+	if err != nil {
+		t.Fatalf("create %s: %v", name, err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatalf("write %s: %v", name, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close %s: %v", name, err)
+	}
+}
+
+func readAll(t *testing.T, d Disk, name string) []byte {
+	t.Helper()
+	r, err := d.Open(name)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	defer r.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return data
+}
+
+func TestMemRoundTrip(t *testing.T) {
+	d := NewMem()
+	data := bytes.Repeat([]byte("abc"), 1000)
+	writeFile(t, d, "f", data)
+	if got := readAll(t, d, "f"); !bytes.Equal(got, data) {
+		t.Error("data mismatch")
+	}
+	size, err := d.Size("f")
+	if err != nil || size != int64(len(data)) {
+		t.Errorf("Size=%d err=%v, want %d", size, err, len(data))
+	}
+}
+
+func TestMemSemantics(t *testing.T) {
+	d := NewMem()
+	// Open before close: not readable.
+	w, err := d.Create("open")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Open("open"); err == nil {
+		t.Error("opened a file still being written")
+	}
+	// Duplicate create of an in-flight file.
+	if _, err := d.Create("open"); !errors.Is(err, ErrExist) {
+		t.Errorf("duplicate in-flight create: %v", err)
+	}
+	w.Close()
+	// Duplicate create of a sealed file.
+	if _, err := d.Create("open"); !errors.Is(err, ErrExist) {
+		t.Errorf("duplicate create: %v", err)
+	}
+	// Missing files.
+	if _, err := d.Open("missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("open missing: %v", err)
+	}
+	if _, err := d.Size("missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("size missing: %v", err)
+	}
+	if err := d.Remove("missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("remove missing: %v", err)
+	}
+	// Remove then re-create.
+	if err := d.Remove("open"); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, d, "open", []byte("x"))
+}
+
+func TestMemOpenSection(t *testing.T) {
+	d := NewMem()
+	data := []byte("0123456789")
+	writeFile(t, d, "f", data)
+	cases := []struct {
+		off, n int64
+		want   string
+	}{
+		{0, 10, "0123456789"},
+		{3, 4, "3456"},
+		{9, 1, "9"},
+		{10, 0, ""},
+		{0, 0, ""},
+	}
+	for _, c := range cases {
+		r, err := d.OpenSection("f", c.off, c.n)
+		if err != nil {
+			t.Fatalf("section [%d,%d): %v", c.off, c.off+c.n, err)
+		}
+		got, _ := io.ReadAll(r)
+		r.Close()
+		if string(got) != c.want {
+			t.Errorf("section [%d,%d): got %q want %q", c.off, c.off+c.n, got, c.want)
+		}
+	}
+	// Out-of-range sections error.
+	for _, c := range [][2]int64{{-1, 2}, {5, 6}, {11, 0}, {0, 11}} {
+		if _, err := d.OpenSection("f", c[0], c[1]); err == nil {
+			t.Errorf("section [%d,+%d) succeeded", c[0], c[1])
+		}
+	}
+}
+
+func TestMemStats(t *testing.T) {
+	d := NewMem()
+	writeFile(t, d, "f", make([]byte, 1234))
+	readAll(t, d, "f")
+	s := d.Stats()
+	if s.BytesWritten != 1234 || s.BytesRead != 1234 || s.Creates != 1 || s.Opens != 1 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestMemConcurrent(t *testing.T) {
+	d := NewMem()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("f%d", i)
+			data := bytes.Repeat([]byte{byte(i)}, 100)
+			w, err := d.Create(name)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			w.Write(data)
+			w.Close()
+			r, err := d.Open(name)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got, _ := io.ReadAll(r)
+			r.Close()
+			if !bytes.Equal(got, data) {
+				t.Errorf("file %s corrupted", name)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestThrottledMetersBandwidth(t *testing.T) {
+	inner := NewMem()
+	// 1 MiB/s write: writing 128 KiB should take ~125 ms.
+	d := NewThrottled(inner, ThrottleConfig{WriteBytesPerSec: 1 << 20})
+	start := time.Now()
+	writeFile(t, d, "f", make([]byte, 128<<10))
+	elapsed := time.Since(start)
+	if elapsed < 100*time.Millisecond {
+		t.Errorf("write finished in %v; throttle not applied", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("write took %v; throttle too aggressive", elapsed)
+	}
+}
+
+func TestThrottledSharedSpindle(t *testing.T) {
+	// Two concurrent writers share one disk's bandwidth: total time is the
+	// sum of their transfer times, not the max.
+	inner := NewMem()
+	d := NewThrottled(inner, ThrottleConfig{WriteBytesPerSec: 1 << 20})
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			writeFile(t, d, fmt.Sprintf("f%d", i), make([]byte, 64<<10))
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Errorf("concurrent writes finished in %v; expected serialized ≥ ~125ms", elapsed)
+	}
+}
+
+func TestThrottledPassThrough(t *testing.T) {
+	inner := NewMem()
+	d := NewThrottled(inner, ThrottleConfig{}) // zero config: no throttling
+	data := []byte("hello world")
+	writeFile(t, d, "f", data)
+	if got := readAll(t, d, "f"); !bytes.Equal(got, data) {
+		t.Error("data mismatch through throttle")
+	}
+	sec, err := d.OpenSection("f", 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(sec)
+	sec.Close()
+	if string(got) != "world" {
+		t.Errorf("section got %q", got)
+	}
+	if s := d.Stats(); s.BytesWritten != int64(len(data)) {
+		t.Errorf("stats not forwarded: %+v", s)
+	}
+	if err := d.Remove("f"); err != nil {
+		t.Errorf("remove: %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+package mrtext_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mrtext"
+)
+
+func fastCluster(t *testing.T) *mrtext.Cluster {
+	t.Helper()
+	c, err := mrtext.NewCluster(mrtext.FastCluster(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	c := fastCluster(t)
+	if err := mrtext.GenerateCorpus(c, "corpus.txt", mrtext.CorpusConfig{
+		Vocabulary: 500, Alpha: 1, WordsPerLine: 6, Seed: 1,
+	}, 64<<10); err != nil {
+		t.Fatal(err)
+	}
+
+	job := mrtext.WordCount("corpus.txt")
+	job.FreqBuf = mrtext.FreqBufText()
+	job.SpillMatcher = true
+	res, err := mrtext.Run(c, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wall <= 0 || res.MapTasks == 0 {
+		t.Errorf("result %+v", res)
+	}
+
+	ref, err := mrtext.RunReference(c, mrtext.WordCount("corpus.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range ref {
+		got, err := mrtext.ReadOutput(c, res, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, ref[p]) {
+			t.Errorf("partition %d differs from reference", p)
+		}
+	}
+	if _, err := mrtext.ReadOutput(c, res, 999); err == nil {
+		t.Error("out-of-range partition read succeeded")
+	}
+	if !strings.Contains(res.Agg.Breakdown(), "TOTAL") {
+		t.Error("breakdown missing")
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	c := fastCluster(t)
+	if err := mrtext.GenerateUserVisits(c, "v", mrtext.LogConfig{URLs: 50, Alpha: 0.8, Seed: 2}, 16<<10); err != nil {
+		t.Fatal(err)
+	}
+	if err := mrtext.GenerateRankings(c, "r", mrtext.LogConfig{URLs: 50, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mrtext.GenerateWebGraph(c, "g", mrtext.GraphConfig{Pages: 100, Alpha: 1, MeanOutDegree: 3, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"v", "r", "g"} {
+		if !c.FS.Exists(f) {
+			t.Errorf("%s missing", f)
+		}
+	}
+	// Join the generated data end to end.
+	res, err := mrtext.Run(c, mrtext.AccessLogJoin("v", "r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows int
+	for p := range res.Outputs {
+		data, err := mrtext.ReadOutput(c, res, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows += bytes.Count(data, []byte("\n"))
+	}
+	if rows == 0 {
+		t.Error("join produced no rows")
+	}
+}
+
+func TestFacadeClusterPresets(t *testing.T) {
+	if mrtext.LocalSmallCluster().Nodes != 6 {
+		t.Error("local preset")
+	}
+	if mrtext.EC2Cluster().Nodes != 20 {
+		t.Error("ec2 preset")
+	}
+	if mrtext.FreqBufText().K != 3000 || mrtext.FreqBufLog().K != 10000 {
+		t.Error("freqbuf presets")
+	}
+	if mrtext.DefaultCorpus().Vocabulary == 0 || mrtext.DefaultLog().URLs == 0 || mrtext.DefaultGraph().Pages == 0 {
+		t.Error("dataset presets")
+	}
+}
