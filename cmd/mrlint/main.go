@@ -1,0 +1,120 @@
+// Command mrlint is the repository's static-analysis gate: it runs the
+// stock `go vet` passes plus the project-specific analyzers of
+// internal/analysis over the module and exits non-zero on any finding.
+// CI runs `go run ./cmd/mrlint ./...` and fails the build on output.
+//
+// Usage:
+//
+//	mrlint [-vet=false] [packages...]
+//
+// Packages default to ./... resolved against the current directory. The
+// custom analyzers check non-test library and binary sources; test files
+// are vet's department. A finding can be suppressed at its site with
+//
+//	//mrlint:ignore <analyzer> <reason>
+//
+// on the offending line or the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+
+	"mrtext/internal/analysis"
+	"mrtext/internal/analysis/closecheck"
+	"mrtext/internal/analysis/droppederr"
+	"mrtext/internal/analysis/goroleak"
+	"mrtext/internal/analysis/load"
+	"mrtext/internal/analysis/lockcheck"
+)
+
+// analyzers is the mrlint suite, in report order.
+var analyzers = []*analysis.Analyzer{
+	droppederr.Analyzer,
+	lockcheck.Analyzer,
+	goroleak.Analyzer,
+	closecheck.Analyzer,
+}
+
+func main() {
+	vet := flag.Bool("vet", true, "also run the stock `go vet` passes")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mrlint [-vet=false] [packages...]\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	failed := false
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "mrlint: go vet failed\n")
+			failed = true
+		}
+	}
+
+	if lint(patterns) {
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// lint loads the packages and applies every analyzer, printing findings.
+// It reports whether anything was found.
+func lint(patterns []string) bool {
+	pkgs, fset, err := load.Packages(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrlint: %v\n", err)
+		return true
+	}
+
+	found := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "mrlint: %s: type error (analyzing anyway): %v\n", pkg.PkgPath, terr)
+		}
+		supp := analysis.NewSuppressions(fset, pkg.Files)
+		var diags []analysis.Diagnostic
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "mrlint: %s on %s: %v\n", a.Name, pkg.PkgPath, err)
+				found = true
+			}
+		}
+		sort.Slice(diags, func(i, j int) bool {
+			if diags[i].Pos != diags[j].Pos {
+				return diags[i].Pos < diags[j].Pos
+			}
+			return diags[i].Category < diags[j].Category
+		})
+		for _, d := range diags {
+			if supp.Suppressed(fset, d) {
+				continue
+			}
+			found = true
+			fmt.Printf("%s: [%s] %s\n", fset.Position(d.Pos), d.Category, d.Message)
+		}
+	}
+	return found
+}

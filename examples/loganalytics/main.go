@@ -58,7 +58,10 @@ func main() {
 			if len(parts) != 2 {
 				continue
 			}
-			cents, _ := strconv.ParseInt(parts[1], 10, 64)
+			cents, err := strconv.ParseInt(parts[1], 10, 64)
+			if err != nil {
+				continue // skip malformed revenue rows
+			}
 			top = append(top, rev{parts[0], cents})
 		}
 	}

@@ -61,7 +61,10 @@ func main() {
 				if len(f) < 2 {
 					continue
 				}
-				r, _ := strconv.ParseFloat(f[1], 64)
+				r, err := strconv.ParseFloat(f[1], 64)
+				if err != nil {
+					continue // skip malformed rank rows
+				}
 				ranks[f[0]] = r
 			}
 		}

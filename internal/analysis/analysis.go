@@ -1,0 +1,121 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis API surface that mrlint's analyzers need.
+// The reproduction environment is offline and the module is deliberately
+// dependency-free, so instead of pulling in x/tools we provide the same
+// Analyzer/Pass/Diagnostic contract over the standard library's go/ast and
+// go/types. Analyzers written against this package are source-compatible
+// with the upstream framework in everything they do (one Run function per
+// package, diagnostics reported through the Pass), so they could be moved
+// onto the real multichecker wholesale if the module ever vendors x/tools.
+//
+// Findings can be suppressed at a specific site with a line comment:
+//
+//	//mrlint:ignore <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it. The analyzer
+// name may be "all" to silence every analyzer for that line. The reason is
+// mandatory by convention (the driver does not parse it, reviewers do).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check: a name (used in diagnostics and
+// suppression directives), user-facing documentation, and the Run function
+// applied once per loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer,
+// mirroring x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Category: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position, the analyzer that produced it, and
+// a message.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// ignorePrefix introduces a suppression directive comment.
+const ignorePrefix = "//mrlint:ignore"
+
+// Suppressions indexes //mrlint:ignore directives of a set of files so the
+// driver can filter diagnostics. The zero value suppresses nothing.
+type Suppressions struct {
+	// byFile maps filename -> line -> set of suppressed analyzer names.
+	byFile map[string]map[int]map[string]bool
+}
+
+// NewSuppressions scans the comments of files (which must have been parsed
+// with comments) and records every directive.
+func NewSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byFile: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := s.byFile[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					s.byFile[pos.Filename] = lines
+				}
+				if lines[pos.Line] == nil {
+					lines[pos.Line] = make(map[string]bool)
+				}
+				lines[pos.Line][fields[0]] = true
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at pos is
+// silenced by a directive on its line or the line above.
+func (s *Suppressions) Suppressed(fset *token.FileSet, d Diagnostic) bool {
+	if s == nil || s.byFile == nil {
+		return false
+	}
+	pos := fset.Position(d.Pos)
+	lines, ok := s.byFile[pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if names, ok := lines[line]; ok {
+			if names[d.Category] || names["all"] {
+				return true
+			}
+		}
+	}
+	return false
+}

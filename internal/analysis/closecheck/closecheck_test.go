@@ -1,0 +1,12 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"mrtext/internal/analysis/analysistest"
+	"mrtext/internal/analysis/closecheck"
+)
+
+func TestCloseCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), closecheck.Analyzer, "a")
+}

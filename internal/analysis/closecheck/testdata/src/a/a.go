@@ -1,0 +1,77 @@
+// Package a seeds closecheck violations: locally-created closers that are
+// abandoned, next to every legitimate way of discharging the obligation.
+package a
+
+import (
+	"io"
+	"os"
+)
+
+func leak() {
+	f, err := os.Open("x") // want `f \(\*os.File\) is never closed and never handed off`
+	if err != nil {
+		return
+	}
+	buf := make([]byte, 4)
+	if _, err := f.Read(buf); err != nil {
+		return
+	}
+}
+
+func leakShort() {
+	f, _ := os.Create("y") // want `never closed and never handed off`
+	f.WriteString("data")
+}
+
+func closedDirectly() error {
+	f, err := os.Open("x")
+	if err != nil {
+		return err
+	}
+	return f.Close() // ok
+}
+
+func closedDeferred() error {
+	f, err := os.Open("x")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // ok
+	return nil
+}
+
+func closedInClosure() error {
+	f, err := os.Open("x")
+	if err != nil {
+		return err
+	}
+	defer func() { f.Close() }() // ok: closed inside the deferred closure
+	return nil
+}
+
+func handedOffReturn() (io.ReadCloser, error) {
+	f, err := os.Open("x")
+	return f, err // ok: caller owns the close
+}
+
+func handedOffArg() error {
+	f, err := os.Open("x")
+	if err != nil {
+		return err
+	}
+	return drain(f) // ok: callee owns the close
+}
+
+func drain(rc io.ReadCloser) error { return rc.Close() }
+
+type holder struct{ rc io.ReadCloser }
+
+func handedOffStruct() holder {
+	f, _ := os.Open("x")
+	return holder{rc: f} // ok: escapes via composite literal
+}
+
+func handedOffAssign(dst *holder) {
+	f, _ := os.Open("x")
+	dst.rc = f // ok: escapes via assignment
+}

@@ -1,0 +1,12 @@
+package droppederr_test
+
+import (
+	"testing"
+
+	"mrtext/internal/analysis/analysistest"
+	"mrtext/internal/analysis/droppederr"
+)
+
+func TestDroppedErr(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), droppederr.Analyzer, "a")
+}

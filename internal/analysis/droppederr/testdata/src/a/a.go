@@ -1,0 +1,57 @@
+// Package a seeds droppederr violations (positive cases) alongside every
+// documented exemption (negative cases).
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+)
+
+func drops(f *os.File) {
+	f.Close()            // want `result 0 \(error\) of f.Close is silently discarded`
+	_ = f.Close()        // want `error value of f.Close is discarded into _`
+	n, _ := f.Write(nil) // want `error result of f.Write is discarded into _`
+	_ = n
+	os.Remove("x") // want `silently discarded`
+}
+
+func dropsInsideDeferredClosure(f *os.File) {
+	defer func() {
+		f.Close() // want `silently discarded`
+	}()
+}
+
+func dropsParallel(f *os.File) {
+	var n int
+	n, _ = 1, f.Close() // want `error value of f.Close is discarded into _`
+	_ = n
+}
+
+func handled(f *os.File) error {
+	defer f.Close() // exempt: deferred cleanup
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "x")         // exempt: strings.Builder never fails
+	fmt.Println("hi")             // exempt: package-level printer
+	fmt.Fprintln(os.Stderr, "e")  // exempt: stderr
+	fmt.Fprintln(os.Stdout, "o")  // exempt: stdout
+	var buf bytes.Buffer
+	buf.WriteString("x") // exempt: bytes.Buffer never fails
+	h := fnv.New32a()
+	h.Write([]byte("k")) // exempt: hash.Hash contract
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func suppressed(f *os.File) {
+	//mrlint:ignore droppederr exercised by the driver, not analysistest
+	f.Close() // want `silently discarded`
+}
+
+func launched(f *os.File) {
+	go f.Close() // exempt in droppederr: goroleak audits go statements
+}

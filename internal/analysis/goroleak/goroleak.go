@@ -1,0 +1,114 @@
+// Package goroleak flags `go` statements that launch a goroutine whose
+// lifetime is not visibly tied to any completion mechanism. The runtime's
+// own pattern — a map task's support goroutine, the runner's per-slot
+// workers — always couples the launch to a sync.WaitGroup, a done/err
+// channel, or a context.Context; a goroutine with none of those is
+// unjoinable: task teardown cannot wait for it, its failure cannot be
+// observed, and under load it accumulates (the classic leaked-goroutine
+// production failure).
+//
+// Heuristic: inspect the launched call. For a function literal, scan its
+// body and arguments; for a named function or method, scan the arguments
+// and the receiver. If any referenced value is a context.Context, a
+// sync.WaitGroup (or pointer to one), or any channel type, the launch is
+// considered tied. Otherwise it is reported. Launches that are genuinely
+// fire-and-forget can say so with //mrlint:ignore goroleak <reason>.
+package goroleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mrtext/internal/analysis"
+)
+
+// Analyzer is the goroleak analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc:  "flags goroutine launches not tied to a WaitGroup, channel or context",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !tied(pass, g.Call) {
+				pass.Reportf(g.Pos(), "goroutine lifetime is not tied to a WaitGroup, channel or context")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// tied reports whether the launched call references a lifetime mechanism.
+func tied(pass *analysis.Pass, call *ast.CallExpr) bool {
+	found := false
+	consider := func(e ast.Node) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[expr]; ok && lifetimeType(tv.Type) {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	for _, arg := range call.Args {
+		consider(arg)
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.FuncLit:
+		consider(fn.Body)
+	case *ast.SelectorExpr:
+		consider(fn.X) // method launch: the receiver may own the mechanism
+	}
+	return found
+}
+
+// lifetimeType reports whether t is a channel, sync.WaitGroup (or pointer),
+// context.Context, or a struct that owns one of those (the method-launch
+// pattern `go s.loop()` where the receiver carries its own done channel).
+func lifetimeType(t types.Type) bool {
+	return lifetime(t, make(map[types.Type]bool))
+}
+
+func lifetime(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			full := obj.Pkg().Path() + "." + obj.Name()
+			if full == "sync.WaitGroup" || full == "context.Context" {
+				return true
+			}
+		}
+	}
+	if st, ok := t.Underlying().(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			if lifetime(st.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"mrtext/internal/analysis/analysistest"
+	"mrtext/internal/analysis/goroleak"
+)
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), goroleak.Analyzer, "a")
+}

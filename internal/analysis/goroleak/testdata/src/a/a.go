@@ -1,0 +1,59 @@
+// Package a seeds goroleak violations: goroutines launched with no visible
+// lifetime mechanism, next to the runtime's legitimate launch patterns.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+func leakLiteral() {
+	go func() { println("orphan") }() // want `goroutine lifetime is not tied`
+}
+
+func leakNamed() {
+	go helper(42) // want `goroutine lifetime is not tied`
+}
+
+func helper(int) {}
+
+func tiedWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // ok: joined via WaitGroup
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func tiedErrChannel() {
+	errc := make(chan error, 1)
+	go func() { // ok: completion observable on errc
+		errc <- nil
+	}()
+	<-errc
+}
+
+func tiedContext(ctx context.Context) {
+	go watch(ctx) // ok: cancellable via ctx
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+func tiedChanArg() {
+	done := make(chan struct{})
+	go signal(done) // ok: channel passed to the goroutine
+	<-done
+}
+
+func signal(done chan struct{}) { close(done) }
+
+type server struct {
+	quit chan struct{}
+}
+
+func (s *server) start() {
+	go s.loop() // ok: receiver owns the quit channel
+}
+
+func (s *server) loop() { <-s.quit }

@@ -1,0 +1,137 @@
+// Package load enumerates, parses and type-checks the module's packages for
+// mrlint. It is a small, offline replacement for go/packages: package
+// discovery is delegated to `go list -json` (which understands build tags,
+// testdata exclusion and module layout), parsing to go/parser, and type
+// checking to go/types with the standard library's source importer — so the
+// whole pipeline works with no module dependencies and no network.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// TypeErrors holds soft type-checking problems. Analysis proceeds on a
+	// best-effort basis when they are non-empty (matching go vet, which
+	// analyzes as much as it can type-check).
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output we consume.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// list runs `go list -json patterns...` in dir and decodes the stream.
+func list(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Packages loads and type-checks the packages matching patterns, resolved
+// relative to dir (typically the module root). Only non-test files are
+// analyzed, matching the "library and binary code" scope of mrlint; test
+// hygiene is go vet's department. All packages share one FileSet so
+// positions and suppression indexes compose.
+func Packages(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := list(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	fset := token.NewFileSet()
+	// One shared source importer: it type-checks imported packages (stdlib
+	// and module-local alike) from source and caches them across packages.
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var out []*Package
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("load: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := check(fset, imp, lp)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, fset, nil
+}
+
+// check parses and type-checks one listed package.
+func check(fset *token.FileSet, imp types.Importer, lp listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{PkgPath: lp.ImportPath, Dir: lp.Dir, Files: files}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil && tpkg == nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", lp.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return pkg, nil
+}

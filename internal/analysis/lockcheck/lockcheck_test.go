@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"mrtext/internal/analysis/analysistest"
+	"mrtext/internal/analysis/lockcheck"
+)
+
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), lockcheck.Analyzer, "a")
+}

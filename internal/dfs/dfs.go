@@ -11,6 +11,7 @@
 package dfs
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -168,8 +169,7 @@ func (w *writer) seal() error {
 			return fmt.Errorf("dfs: sealing block %d of %s: %w", idx, w.name, err)
 		}
 		if _, err := f.Write(w.buf); err != nil {
-			f.Close()
-			return fmt.Errorf("dfs: writing block %d of %s: %w", idx, w.name, err)
+			return fmt.Errorf("dfs: writing block %d of %s: %w", idx, w.name, errors.Join(err, f.Close()))
 		}
 		if err := f.Close(); err != nil {
 			return fmt.Errorf("dfs: closing block %d of %s: %w", idx, w.name, err)
@@ -244,12 +244,15 @@ func (d *DFS) Remove(name string) error {
 	delete(d.files, name)
 	blocks := meta.blocks
 	d.mu.Unlock()
+	var errs []error
 	for _, b := range blocks {
 		for ri, node := range b.Replicas {
-			_ = d.disks[node].Remove(blockName(name, b.Index, ri))
+			if err := d.disks[node].Remove(blockName(name, b.Index, ri)); err != nil {
+				errs = append(errs, fmt.Errorf("dfs: removing block %d of %s: %w", b.Index, name, err))
+			}
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // OpenFrom opens the file for sequential reading from byte offset off, as
@@ -284,8 +287,11 @@ func (r *reader) Read(p []byte) (int, error) {
 			n, err := r.cur.Read(p)
 			r.off += int64(n)
 			if err == io.EOF {
-				r.cur.Close()
+				cerr := r.cur.Close()
 				r.cur = nil
+				if cerr != nil {
+					return n, fmt.Errorf("dfs: closing block stream of %s: %w", r.name, cerr)
+				}
 				if n > 0 {
 					return n, nil
 				}
@@ -368,8 +374,7 @@ func (d *DFS) WriteFile(name string, data []byte) error {
 		return err
 	}
 	if _, err := w.Write(data); err != nil {
-		w.Close()
-		return err
+		return errors.Join(err, w.Close())
 	}
 	return w.Close()
 }

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -83,6 +84,7 @@ func (e Env) withDefaults() Env {
 }
 
 func (e Env) printf(format string, args ...interface{}) {
+	//mrlint:ignore droppederr best-effort progress output; e.Out is a fire-and-forget log sink
 	fmt.Fprintf(e.Out, format, args...)
 }
 
@@ -189,8 +191,7 @@ func gen(c *cluster.Cluster, name string, fill func(io.Writer) error) error {
 		return err
 	}
 	if err := fill(w); err != nil {
-		w.Close()
-		return err
+		return errors.Join(err, w.Close())
 	}
 	return w.Close()
 }

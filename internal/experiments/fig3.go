@@ -35,6 +35,7 @@ func RunFig3(env Env) (*Fig3Result, error) {
 	pr, pw := io.Pipe()
 	go func() {
 		_, err := textgen.Corpus(pw, cfg, env.corpusBytes())
+		//mrlint:ignore droppederr io.PipeWriter.CloseWithError is documented to always return nil
 		pw.CloseWithError(err)
 	}()
 

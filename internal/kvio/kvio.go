@@ -15,6 +15,7 @@ import (
 	"bufio"
 	"bytes"
 	"container/heap"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -271,8 +272,7 @@ func NewMerger(streams []Stream) (*Merger, error) {
 			continue
 		}
 		if err != nil {
-			m.Close()
-			return nil, fmt.Errorf("kvio: priming merge stream %d: %w", i, err)
+			return nil, fmt.Errorf("kvio: priming merge stream %d: %w", i, errors.Join(err, m.Close()))
 		}
 		m.h.heads = append(m.h.heads, mergeHead{key: append([]byte(nil), k...), value: append([]byte(nil), v...), src: i})
 	}

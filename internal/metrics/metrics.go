@@ -122,6 +122,7 @@ const (
 	CtrFreqProfiled      = "freqbuf.profiled"  // records seen during profiling
 	CtrCombineInRecords  = "combine.input.records"
 	CtrCombineOutRecords = "combine.output.records"
+	CtrCleanupErrors     = "cleanup.errors" // best-effort cleanup failures (spill/output removal)
 )
 
 // TaskMetrics accumulates instrumentation for a single task attempt. It is

@@ -1,0 +1,11 @@
+//go:build !mrdebug
+
+package mr
+
+import "mrtext/internal/kvio"
+
+// Release-build no-op twins of the mrdebug assertions; see invariants.go.
+
+func debugAssert(bool, string, ...any) {}
+
+func debugAssertSorted([]kvio.Record, string) {}

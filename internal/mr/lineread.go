@@ -3,6 +3,7 @@ package mr
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 
@@ -79,8 +80,8 @@ func openLines(fs *dfs.DFS, split Split, node int) (*lineScanner, error) {
 		if err == io.EOF {
 			s.done = true
 		} else if err != nil {
-			rc.Close()
-			return nil, fmt.Errorf("mr: skipping partial line of split %s@%d: %w", split.File, split.Offset, err)
+			return nil, fmt.Errorf("mr: skipping partial line of split %s@%d: %w",
+				split.File, split.Offset, errors.Join(err, rc.Close()))
 		}
 	}
 	return s, nil

@@ -109,6 +109,7 @@ func writeSpillRun(disk vdisk.Disk, name string, parts int, recs []kvio.Record, 
 	t0 := time.Now()
 	kvio.SortRecords(recs)
 	tm.Add(metrics.OpSort, time.Since(t0))
+	debugAssertSorted(recs, name)
 
 	t1 := time.Now()
 	var combineDur time.Duration
@@ -210,6 +211,7 @@ func writeSpillRunHashed(disk vdisk.Disk, name string, parts int, recs []kvio.Re
 	}
 	kvio.SortRecords(combined) // only the aggregates: the whole point
 	tm.Add(metrics.OpSort, time.Since(t1)-combineDur)
+	debugAssertSorted(combined, name)
 	tm.Add(metrics.OpCombineUser, combineDur)
 
 	w0 := time.Now()
@@ -324,6 +326,7 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node int
 				supportErr <- nil
 				return
 			}
+			debugAssert(spill.Seq == spillSeq, "spill sequence mismatch: buffer handed seq %d, support expected %d", spill.Seq, spillSeq)
 			consumeStart := time.Now()
 			name := fmt.Sprintf("%s/m%05d/spill%04d", job.filePrefix, taskIdx, spillSeq)
 			spillSeq++
@@ -365,7 +368,9 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node int
 		}
 	}
 	mc.finish()
-	scanner.Close()
+	if cerr := scanner.Close(); cerr != nil && mapErr == nil {
+		mapErr = fmt.Errorf("closing input split: %w", cerr)
+	}
 
 	// Drain the frequency buffer: its aggregates join the merge directly.
 	var drained []kvio.Record
@@ -435,9 +440,12 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node int
 	}
 	tm.Inc(metrics.CtrMergeBytes, outIdx.TotalBytes())
 
-	// Spill files are no longer needed.
+	// Spill files are no longer needed. Removal is best-effort cleanup:
+	// failures are counted, not fatal.
 	for _, run := range runs {
-		_ = disk.Remove(run.Name)
+		if err := disk.Remove(run.Name); err != nil {
+			tm.Inc(metrics.CtrCleanupErrors, 1)
+		}
 	}
 
 	report.Wall = time.Since(start)

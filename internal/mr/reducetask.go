@@ -2,6 +2,7 @@ package mr
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"time"
 
@@ -56,11 +57,7 @@ func (s *chargedStream) flush() error {
 }
 
 func (s *chargedStream) Close() error {
-	if err := s.flush(); err != nil {
-		s.inner.Close()
-		return err
-	}
-	return s.inner.Close()
+	return errors.Join(s.flush(), s.inner.Close())
 }
 
 // groupValues adapts a Merger group to the user-facing ValueIter, timing
@@ -134,10 +131,11 @@ func runReduceTask(c *cluster.Cluster, job *Job, part, node int, mapOuts []mapOu
 	for _, mo := range mapOuts {
 		s, err := kvio.OpenRunPart(c.Disks[mo.node], mo.index, part)
 		if err != nil {
+			errs := []error{err}
 			for _, os := range streams {
-				os.Close()
+				errs = append(errs, os.Close())
 			}
-			return fail(err)
+			return fail(errors.Join(errs...))
 		}
 		streams = append(streams, &chargedStream{inner: s, c: c, src: mo.node, dst: node, tm: tm})
 	}
@@ -163,8 +161,7 @@ func runReduceTask(c *cluster.Cluster, job *Job, part, node int, mapOuts []mapOu
 		key, ok, err := merger.NextGroup()
 		tm.Add(metrics.OpShuffle, time.Since(t0))
 		if err != nil {
-			outFile.Close()
-			return fail(err)
+			return fail(errors.Join(err, outFile.Close()))
 		}
 		if !ok {
 			break
@@ -174,8 +171,7 @@ func runReduceTask(c *cluster.Cluster, job *Job, part, node int, mapOuts []mapOu
 		g0 := time.Now()
 		pullBefore, ioBefore := pullAcc, ioAcc
 		if err := reducer.Reduce(key, iter, rc); err != nil {
-			outFile.Close()
-			return fail(fmt.Errorf("reduce(): %w", err))
+			return fail(fmt.Errorf("reduce(): %w", errors.Join(err, outFile.Close())))
 		}
 		tm.Inc(metrics.CtrReduceInputValues, iter.values)
 		total := time.Since(g0)
@@ -188,8 +184,7 @@ func runReduceTask(c *cluster.Cluster, job *Job, part, node int, mapOuts []mapOu
 
 	t0 := time.Now()
 	if err := bufw.Flush(); err != nil {
-		outFile.Close()
-		return fail(err)
+		return fail(errors.Join(err, outFile.Close()))
 	}
 	if err := outFile.Close(); err != nil {
 		return fail(err)

@@ -3,6 +3,7 @@ package mr
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -47,19 +48,19 @@ func RunReference(c *cluster.Cluster, spec *Job) (map[int][]byte, error) {
 			line = bytes.TrimSuffix(line, []byte("\n"))
 			if len(line) > 0 || (rerr == nil) {
 				if err := mapper.Map(lineOff, line, collect); err != nil {
-					rd.Close()
-					return nil, fmt.Errorf("mr: reference map(): %w", err)
+					return nil, fmt.Errorf("mr: reference map(): %w", errors.Join(err, rd.Close()))
 				}
 			}
 			if rerr == io.EOF {
 				break
 			}
 			if rerr != nil {
-				rd.Close()
-				return nil, rerr
+				return nil, errors.Join(rerr, rd.Close())
 			}
 		}
-		rd.Close()
+		if err := rd.Close(); err != nil {
+			return nil, fmt.Errorf("mr: closing reference input %s: %w", in, err)
+		}
 	}
 
 	sort.SliceStable(recs, func(i, j int) bool {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mrtext/internal/cluster"
+	"mrtext/internal/metrics"
 )
 
 // Run executes a job on the cluster and blocks until completion. Map tasks
@@ -100,14 +101,24 @@ func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 	res.Wall = time.Since(start)
 	res.Outputs = outputs
 
-	// Intermediate map outputs are no longer needed.
+	// Intermediate map outputs are no longer needed. Removal is best-effort
+	// cleanup: failures are counted on the job aggregate, not fatal.
+	var cleanupErrs int64
 	for _, mo := range mapOuts {
-		_ = c.Disks[mo.node].Remove(mo.index.Name)
+		if err := c.Disks[mo.node].Remove(mo.index.Name); err != nil {
+			cleanupErrs++
+		}
 	}
 
 	res.Tasks = append(append([]TaskReport(nil), mapReports...), reduceReports...)
 	for _, t := range res.Tasks {
 		res.Agg.Merge(t.Metrics)
+	}
+	if cleanupErrs > 0 {
+		if res.Agg.Counters == nil {
+			res.Agg.Counters = make(map[string]int64)
+		}
+		res.Agg.Counters[metrics.CtrCleanupErrors] += cleanupErrs
 	}
 	return res, nil
 }

@@ -1,0 +1,55 @@
+//go:build mrdebug
+
+package spillbuf
+
+import "fmt"
+
+// This file holds the debug-build invariant checks of the spill buffer.
+// They compile in only under -tags mrdebug; the release build links the
+// no-op twins in invariants_off.go, so the hot path pays nothing.
+
+// checkInvariants asserts the buffer's O(1) structural invariants. The
+// caller must hold b.mu.
+func (b *Buffer) checkInvariants(where string) {
+	if b.pendingBytes < 0 {
+		panic(fmt.Sprintf("spillbuf: %s: negative pendingBytes %d", where, b.pendingBytes))
+	}
+	if b.inflight < 0 {
+		panic(fmt.Sprintf("spillbuf: %s: negative inflight %d", where, b.inflight))
+	}
+	if (len(b.pending) == 0) != (b.pendingBytes == 0) {
+		panic(fmt.Sprintf("spillbuf: %s: pending region inconsistent: %d records, %d bytes",
+			where, len(b.pending), b.pendingBytes))
+	}
+	if b.maxPending < b.pendingBytes {
+		panic(fmt.Sprintf("spillbuf: %s: maxPending watermark %d below pendingBytes %d",
+			where, b.maxPending, b.pendingBytes))
+	}
+	if b.seq != b.spills {
+		panic(fmt.Sprintf("spillbuf: %s: seq %d != spills %d", where, b.seq, b.spills))
+	}
+	if b.inflight > b.spillBytes {
+		panic(fmt.Sprintf("spillbuf: %s: inflight %d exceeds total spilled bytes %d",
+			where, b.inflight, b.spillBytes))
+	}
+	// The byte budget M bounds pending+inflight, except for the single
+	// oversized record the producer may admit into an empty buffer.
+	if b.pendingBytes+b.inflight > b.capacity && len(b.pending) > 1 {
+		panic(fmt.Sprintf("spillbuf: %s: budget exceeded: pending %d + inflight %d > capacity %d with %d pending records",
+			where, b.pendingBytes, b.inflight, b.capacity, len(b.pending)))
+	}
+}
+
+// checkPendingSum asserts the O(n) byte-accounting invariant: pendingBytes
+// equals the sum of the pending records' charges. Called only at spill
+// handoff so debug builds stay usable. The caller must hold b.mu.
+func (b *Buffer) checkPendingSum(where string) {
+	var sum int64
+	for _, r := range b.pending {
+		sum += RecordBytes(r.Key, r.Value)
+	}
+	if sum != b.pendingBytes {
+		panic(fmt.Sprintf("spillbuf: %s: pendingBytes %d != record sum %d over %d records",
+			where, b.pendingBytes, sum, len(b.pending)))
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !mrdebug
+
+package spillbuf
+
+// Release-build no-op twins of the mrdebug invariant checks; see
+// invariants.go for the real assertions.
+
+func (b *Buffer) checkInvariants(string) {}
+
+func (b *Buffer) checkPendingSum(string) {}

@@ -141,6 +141,7 @@ func (b *Buffer) Append(part int, key, value []byte) (time.Duration, error) {
 	}
 	ready := float64(b.pendingBytes) >= b.ctrl.Percent()*float64(b.capacity)
 	b.produceMark = time.Now()
+	b.checkInvariants("Append")
 	b.mu.Unlock()
 	if ready {
 		b.cond.Broadcast()
@@ -168,6 +169,7 @@ func (b *Buffer) NextSpill() (s Spill, ok bool) {
 		takeable := b.pendingBytes > 0 &&
 			(float64(b.pendingBytes) >= threshold || b.closed || b.blocked)
 		if takeable {
+			b.checkPendingSum("NextSpill")
 			s = Spill{
 				Records: b.pending,
 				Bytes:   b.pendingBytes,
@@ -181,6 +183,7 @@ func (b *Buffer) NextSpill() (s Spill, ok bool) {
 			b.pending = nil
 			b.pendingBytes = 0
 			b.produceAcc = 0
+			b.checkInvariants("NextSpill")
 			return s, true
 		}
 		if b.closed && b.pendingBytes == 0 {
@@ -203,6 +206,7 @@ func (b *Buffer) Release(s Spill, consume time.Duration) {
 	if b.inflight < 0 {
 		b.inflight = 0
 	}
+	b.checkInvariants("Release")
 	b.mu.Unlock()
 	b.ctrl.Record(s.Bytes, s.Produce, consume)
 	b.cond.Broadcast()

@@ -21,6 +21,7 @@
 package mrtext
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -189,8 +190,7 @@ func generate(c *Cluster, name string, fill func(io.Writer) error) error {
 		return err
 	}
 	if err := fill(w); err != nil {
-		w.Close()
-		return err
+		return errors.Join(err, w.Close())
 	}
 	return w.Close()
 }
