@@ -7,31 +7,71 @@
 //
 // Experiments: fig2 table2 fig3 fig7 fig8 fig9 fig10 table3 table4
 // spillmodel, or "all".
+//
+// mrbench -spillbench runs the spill-path regression harness instead
+// and writes BENCH_spillpath.json (see internal/spillpath).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"mrtext/internal/experiments"
+	"mrtext/internal/spillpath"
 )
+
+func runSpillBench(out string, iters int, seed int64) error {
+	rep, err := spillpath.Run(spillpath.DefaultScales, 4, 8, iters, seed)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	for _, sc := range rep.Scales {
+		fmt.Printf("%8d records: sort %.2fx merge %.2fx total %.2fx (allocs/rec %.2f -> %.2f)\n",
+			sc.Records, sc.SortSpeedup, sc.MergeSpeedup, sc.TotalSpeedup,
+			sc.Baseline.Total.AllocsPerRecord, sc.Packed.Total.AllocsPerRecord)
+	}
+	fmt.Printf("emit timing: precise %.1f ns/rec, sampled %.1f ns/rec (delta %.1f); clock reads/rec %.2f -> %.4f\n",
+		rep.EmitTimer.PreciseNsPerRecord, rep.EmitTimer.SampledNsPerRecord, rep.EmitTimer.DeltaNsPerRecord,
+		rep.EmitTimer.PreciseClockReadsPerRec, rep.EmitTimer.SampledClockReadsPerRec)
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		scale   = flag.Float64("scale", 1.0, "dataset scale multiplier (1.0 ≈ 16 MiB corpus)")
-		nodes   = flag.Int("nodes", 0, "override cluster node count (0 = experiment default)")
-		posIter = flag.Int("pos-iterations", 8, "WordPOSTag CPU-intensity (tagger rescoring iterations)")
-		seed    = flag.Int64("seed", 1, "generator seed offset")
-		fast    = flag.Bool("fast", false, "disable disk/network throttling (not paper-faithful; for smoke tests)")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		scale      = flag.Float64("scale", 1.0, "dataset scale multiplier (1.0 ≈ 16 MiB corpus)")
+		nodes      = flag.Int("nodes", 0, "override cluster node count (0 = experiment default)")
+		posIter    = flag.Int("pos-iterations", 8, "WordPOSTag CPU-intensity (tagger rescoring iterations)")
+		seed       = flag.Int64("seed", 1, "generator seed offset")
+		fast       = flag.Bool("fast", false, "disable disk/network throttling (not paper-faithful; for smoke tests)")
+		spillbench = flag.Bool("spillbench", false, "run the spill-path regression harness and write -spillbench-out")
+		sbOut      = flag.String("spillbench-out", "BENCH_spillpath.json", "output file for -spillbench")
+		sbIters    = flag.Int("spillbench-iters", 5, "measurement iterations per stage for -spillbench")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, n := range experiments.Names() {
 			fmt.Println(n)
+		}
+		return
+	}
+	if *spillbench {
+		if err := runSpillBench(*sbOut, *sbIters, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "mrbench: spillbench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -136,3 +136,65 @@ func BenchmarkSortRecords(b *testing.B) {
 	}
 	b.SetBytes(int64(len(base)))
 }
+
+func BenchmarkSortPacked(b *testing.B) {
+	var base PackedRecords
+	for i := 0; i < 1<<14; i++ {
+		base.Append(i%12, []byte(fmt.Sprintf("k%05d", (i*2654435761)%9973)), []byte("v"))
+	}
+	work := PackedRecords{Meta: make([]Meta, base.Len()), Arena: base.Arena}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work.Meta, base.Meta)
+		SortPacked(work)
+	}
+	b.SetBytes(int64(base.Len()))
+}
+
+// BenchmarkReferenceMerge is the container/heap baseline that
+// BenchmarkKWayMerge (which now exercises the loser tree through
+// NewMerger) is compared against.
+func BenchmarkReferenceMerge(b *testing.B) {
+	disk := vdisk.NewMem()
+	idxs := benchRuns(b, disk, 8, 4096, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		streams := make([]Stream, len(idxs))
+		for j, idx := range idxs {
+			s, err := OpenRunPart(disk, idx, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			streams[j] = s
+		}
+		m, err := NewReferenceMerger(streams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			_, ok, err := m.NextGroup()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			for {
+				_, ok, err := m.NextValue()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				n++
+			}
+		}
+		m.Close()
+		if n != 8*4096 {
+			b.Fatalf("merged %d records", n)
+		}
+	}
+	b.SetBytes(8 * 4096)
+}

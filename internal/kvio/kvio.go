@@ -1,8 +1,9 @@
 // Package kvio implements the on-disk intermediate-data machinery of the
 // runtime: sorted, partitioned run files (spill files and final map-output
-// segments), sequential run readers, and the k-way heap merge — with
-// optional inline combining — used both by the map-side merge and by the
-// reduce-side shuffle merge.
+// segments), sequential run readers, the packed in-memory record
+// representation the spill path sorts (packed.go), and the loser-tree
+// k-way merge — with optional inline combining — used both by the
+// map-side merge and by the reduce-side shuffle merge (losertree.go).
 //
 // A run file holds, for each partition in ascending order, a contiguous
 // segment of framed key/value records sorted by key. The byte offsets of
@@ -14,8 +15,6 @@ package kvio
 import (
 	"bufio"
 	"bytes"
-	"container/heap"
-	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -34,7 +33,8 @@ type Record struct {
 
 // SortRecords sorts records by (partition, key), with a stable order for
 // equal keys so combiner semantics match Hadoop's (values arrive in emit
-// order).
+// order). It is the reference implementation the packed index sort
+// (SortPacked) is validated against; the spill hot path uses SortPacked.
 func SortRecords(recs []Record) {
 	sort.SliceStable(recs, func(i, j int) bool {
 		if recs[i].Part != recs[j].Part {
@@ -219,146 +219,6 @@ func (s *SliceStream) Next() (key, value []byte, err error) {
 
 // Close implements Stream.
 func (s *SliceStream) Close() error { return nil }
-
-// mergeHead is one stream's current record inside the merge heap.
-type mergeHead struct {
-	key, value []byte
-	src        int
-}
-
-type mergeHeap struct {
-	heads []mergeHead
-}
-
-func (h *mergeHeap) Len() int { return len(h.heads) }
-func (h *mergeHeap) Less(i, j int) bool {
-	c := bytes.Compare(h.heads[i].key, h.heads[j].key)
-	if c != 0 {
-		return c < 0
-	}
-	return h.heads[i].src < h.heads[j].src // stability across runs
-}
-func (h *mergeHeap) Swap(i, j int)      { h.heads[i], h.heads[j] = h.heads[j], h.heads[i] }
-func (h *mergeHeap) Push(x interface{}) { h.heads = append(h.heads, x.(mergeHead)) }
-func (h *mergeHeap) Pop() interface{} {
-	old := h.heads
-	n := len(old)
-	x := old[n-1]
-	h.heads = old[:n-1]
-	return x
-}
-
-// Merger performs a streaming k-way merge over sorted Streams. It exposes
-// the merged sequence grouped by key: NextGroup positions on the next
-// distinct key and Values iterates that key's values lazily. The key slice
-// is valid until the next NextGroup call.
-type Merger struct {
-	streams []Stream
-	h       mergeHeap
-	// current group state
-	curKey  []byte
-	pending *mergeHead // head popped but not yet consumed
-	done    bool
-	err     error
-}
-
-// NewMerger builds a Merger over streams; it immediately primes every
-// stream. Streams are closed by Close.
-func NewMerger(streams []Stream) (*Merger, error) {
-	m := &Merger{streams: streams}
-	for i, s := range streams {
-		k, v, err := s.Next()
-		if err == io.EOF {
-			continue
-		}
-		if err != nil {
-			return nil, fmt.Errorf("kvio: priming merge stream %d: %w", i, errors.Join(err, m.Close()))
-		}
-		m.h.heads = append(m.h.heads, mergeHead{key: append([]byte(nil), k...), value: append([]byte(nil), v...), src: i})
-	}
-	heap.Init(&m.h)
-	return m, nil
-}
-
-// advance refills the heap from stream src after its head was consumed.
-func (m *Merger) advance(src int) error {
-	k, v, err := m.streams[src].Next()
-	if err == io.EOF {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("kvio: merge stream %d: %w", src, err)
-	}
-	heap.Push(&m.h, mergeHead{key: append([]byte(nil), k...), value: append([]byte(nil), v...), src: src})
-	return nil
-}
-
-// NextGroup advances to the next distinct key. It returns the key and true,
-// or nil and false at end of input. Any unconsumed values of the previous
-// group are drained first.
-func (m *Merger) NextGroup() ([]byte, bool, error) {
-	if m.err != nil || m.done {
-		return nil, false, m.err
-	}
-	// Drain the remainder of the current group.
-	for {
-		v, ok, err := m.NextValue()
-		if err != nil {
-			return nil, false, err
-		}
-		if !ok {
-			break
-		}
-		_ = v
-	}
-	if m.pending == nil {
-		if m.h.Len() == 0 {
-			m.done = true
-			return nil, false, nil
-		}
-		head := heap.Pop(&m.h).(mergeHead)
-		m.pending = &head
-	}
-	m.curKey = append(m.curKey[:0], m.pending.key...)
-	return m.curKey, true, nil
-}
-
-// NextValue returns the next value of the current group, or false when the
-// group is exhausted.
-func (m *Merger) NextValue() ([]byte, bool, error) {
-	if m.err != nil {
-		return nil, false, m.err
-	}
-	if m.pending == nil {
-		if m.h.Len() == 0 {
-			return nil, false, nil
-		}
-		head := heap.Pop(&m.h).(mergeHead)
-		m.pending = &head
-	}
-	if m.curKey == nil || !bytes.Equal(m.pending.key, m.curKey) {
-		return nil, false, nil // start of the next group
-	}
-	v := m.pending.value
-	src := m.pending.src
-	m.pending = nil
-	if err := m.advance(src); err != nil {
-		m.err = err
-		return nil, false, err
-	}
-	return v, true, nil
-}
-
-// Close closes all underlying streams, returning the first error.
-func (m *Merger) Close() error {
-	var first error
-	for _, s := range m.streams {
-		if err := s.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
-}
 
 // CombineFunc aggregates all values of one key, emitting zero or more
 // records. It matches the user combine() contract: it may be applied any

@@ -1,0 +1,41 @@
+//go:build mrdebug
+
+package kvio
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Debug-build verification of the packed index sort against the
+// reference SortRecords. Compiled in only under -tags mrdebug; the
+// release build links the no-op twins in packed_debug_off.go.
+
+// debugSortReference materializes the batch before sorting and sorts
+// the copy with the reference implementation.
+func debugSortReference(p PackedRecords) []Record {
+	recs := make([]Record, p.Len())
+	for i := range recs {
+		recs[i] = Record{
+			Part:  p.Part(i),
+			Key:   append([]byte(nil), p.Key(i)...),
+			Value: append([]byte(nil), p.Value(i)...),
+		}
+	}
+	SortRecords(recs)
+	return recs
+}
+
+// debugCheckSortAgreement panics unless the packed sort produced
+// exactly the reference sequence — same records, same stable order.
+func debugCheckSortAgreement(p PackedRecords, ref []Record) {
+	if len(ref) != p.Len() {
+		panic(fmt.Sprintf("kvio: SortPacked changed record count: %d != %d", p.Len(), len(ref)))
+	}
+	for i, r := range ref {
+		if p.Part(i) != r.Part || !bytes.Equal(p.Key(i), r.Key) || !bytes.Equal(p.Value(i), r.Value) {
+			panic(fmt.Sprintf("kvio: SortPacked disagrees with SortRecords at %d: got (%d, %q, %q), reference (%d, %q, %q)",
+				i, p.Part(i), p.Key(i), p.Value(i), r.Part, r.Key, r.Value))
+		}
+	}
+}

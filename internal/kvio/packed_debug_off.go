@@ -1,0 +1,10 @@
+//go:build !mrdebug
+
+package kvio
+
+// Release-build no-op twins of the mrdebug sort-agreement checks; the
+// hot path pays nothing for them.
+
+func debugSortReference(PackedRecords) []Record { return nil }
+
+func debugCheckSortAgreement(PackedRecords, []Record) {}

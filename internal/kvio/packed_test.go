@@ -1,0 +1,402 @@
+package kvio
+
+// Property tests for the packed spill path: the prefix index sort and
+// the loser-tree merge must be observationally identical to the
+// reference implementations (SortRecords, ReferenceMerger) — same
+// record order including stability, byte-identical run files in both
+// on-disk formats, and identical group/value sequences out of the
+// merge, across adversarial key distributions.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"mrtext/internal/vdisk"
+)
+
+// A generator produces one workload of records; values carry a serial
+// number so stability violations are observable.
+type generator struct {
+	name string
+	gen  func(r *rand.Rand, n int) []Record
+}
+
+func serialValue(i int) []byte { return []byte(fmt.Sprintf("v%06d", i)) }
+
+var generators = []generator{
+	{"random", func(r *rand.Rand, n int) []Record {
+		recs := make([]Record, n)
+		for i := range recs {
+			k := make([]byte, r.Intn(24))
+			r.Read(k)
+			recs[i] = Record{Part: r.Intn(4), Key: k, Value: serialValue(i)}
+		}
+		return recs
+	}},
+	{"zipf-duplicates", func(r *rand.Rand, n int) []Record {
+		zipf := rand.NewZipf(r, 1.3, 1, 64)
+		recs := make([]Record, n)
+		for i := range recs {
+			k := []byte(fmt.Sprintf("word%02d", zipf.Uint64()))
+			recs[i] = Record{Part: int(zipf.Uint64()) % 3, Key: k, Value: serialValue(i)}
+		}
+		return recs
+	}},
+	{"long-shared-prefixes", func(r *rand.Rand, n int) []Record {
+		// Every key shares a 12-byte prefix, so every prefix comparison
+		// ties and the sort must fall through to the arena tails; some
+		// keys are exact prefixes of others.
+		recs := make([]Record, n)
+		for i := range recs {
+			k := append([]byte("shared/prefix"), make([]byte, r.Intn(6))...)
+			r.Read(k[13:])
+			recs[i] = Record{Part: r.Intn(2), Key: k, Value: serialValue(i)}
+		}
+		return recs
+	}},
+	{"short-and-empty-keys", func(r *rand.Rand, n int) []Record {
+		recs := make([]Record, n)
+		for i := range recs {
+			k := make([]byte, r.Intn(9)) // 0..8 bytes: everything fits the prefix
+			r.Read(k)
+			recs[i] = Record{Part: r.Intn(3), Key: k, Value: serialValue(i)}
+		}
+		return recs
+	}},
+}
+
+func pack(recs []Record) PackedRecords {
+	var p PackedRecords
+	for _, r := range recs {
+		p.Append(r.Part, r.Key, r.Value)
+	}
+	return p
+}
+
+// TestSortPackedMatchesReference: SortPacked must produce exactly the
+// sequence sort.SliceStable produces — same keys, same partitions, and
+// equal keys in emit order.
+func TestSortPackedMatchesReference(t *testing.T) {
+	for _, g := range generators {
+		t.Run(g.name, func(t *testing.T) {
+			for trial := 0; trial < 20; trial++ {
+				r := rand.New(rand.NewSource(int64(trial)))
+				recs := g.gen(r, 1+r.Intn(2000))
+				p := pack(recs)
+				ref := make([]Record, len(recs))
+				copy(ref, recs)
+				SortRecords(ref)
+				SortPacked(p)
+				if p.Len() != len(ref) {
+					t.Fatalf("trial %d: packed has %d records, reference %d", trial, p.Len(), len(ref))
+				}
+				for i := range ref {
+					if p.Part(i) != ref[i].Part || !bytes.Equal(p.Key(i), ref[i].Key) || !bytes.Equal(p.Value(i), ref[i].Value) {
+						t.Fatalf("trial %d: mismatch at %d: packed (%d,%q,%q) vs reference (%d,%q,%q)",
+							trial, i, p.Part(i), p.Key(i), p.Value(i), ref[i].Part, ref[i].Key, ref[i].Value)
+					}
+				}
+			}
+		})
+	}
+}
+
+func readFile(t *testing.T, disk vdisk.Disk, name string) []byte {
+	t.Helper()
+	f, err := disk.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestPackedRunFilesByteIdentical: the packed pipeline (SortPacked +
+// run sink) must write the same bytes to disk as the reference pipeline
+// (SortRecords + run sink), in both the plain and the prefix-compressed
+// run format.
+func TestPackedRunFilesByteIdentical(t *testing.T) {
+	const parts = 4
+	for _, g := range generators {
+		for _, compressed := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/compressed=%v", g.name, compressed), func(t *testing.T) {
+				for trial := 0; trial < 8; trial++ {
+					r := rand.New(rand.NewSource(int64(100 + trial)))
+					recs := g.gen(r, 1+r.Intn(1500))
+
+					ref := make([]Record, len(recs))
+					copy(ref, recs)
+					SortRecords(ref)
+					refDisk := vdisk.NewMem()
+					rw, err := NewRunSink(refDisk, "run", parts, compressed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, rec := range ref {
+						if err := rw.Append(rec.Part, rec.Key, rec.Value); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if _, err := rw.Close(); err != nil {
+						t.Fatal(err)
+					}
+
+					p := pack(recs)
+					SortPacked(p)
+					pkDisk := vdisk.NewMem()
+					pw, err := NewRunSink(pkDisk, "run", parts, compressed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := 0; i < p.Len(); i++ {
+						if err := pw.Append(p.Part(i), p.Key(i), p.Value(i)); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if _, err := pw.Close(); err != nil {
+						t.Fatal(err)
+					}
+
+					if a, b := readFile(t, refDisk, "run"), readFile(t, pkDisk, "run"); !bytes.Equal(a, b) {
+						t.Fatalf("trial %d: run files differ (%d vs %d bytes)", trial, len(a), len(b))
+					}
+				}
+			})
+		}
+	}
+}
+
+// drive pulls the complete grouped sequence out of a merger.
+type groupSeq struct {
+	key  []byte
+	vals [][]byte
+}
+
+type groupedMerger interface {
+	NextGroup() ([]byte, bool, error)
+	NextValue() ([]byte, bool, error)
+	Close() error
+}
+
+func drive(t *testing.T, m groupedMerger) []groupSeq {
+	t.Helper()
+	defer m.Close()
+	var out []groupSeq
+	for {
+		key, ok, err := m.NextGroup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		g := groupSeq{key: append([]byte(nil), key...)}
+		for {
+			v, ok, err := m.NextValue()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			g.vals = append(g.vals, append([]byte(nil), v...))
+		}
+		out = append(out, g)
+	}
+}
+
+// mergeRuns writes the workload into nRuns sorted run files and returns
+// an opener for each partition's streams.
+func mergeRuns(t *testing.T, recs []Record, parts, nRuns int, compressed bool) (vdisk.Disk, []RunIndex) {
+	t.Helper()
+	sorted := make([]Record, len(recs))
+	copy(sorted, recs)
+	for i := range sorted {
+		sorted[i].Part %= parts // generators draw from more partitions than some tests use
+	}
+	SortRecords(sorted)
+	disk := vdisk.NewMem()
+	idxs := make([]RunIndex, nRuns)
+	for run := 0; run < nRuns; run++ {
+		w, err := NewRunSink(disk, fmt.Sprintf("run%d", run), parts, compressed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := run; i < len(sorted); i += nRuns {
+			if err := w.Append(sorted[i].Part, sorted[i].Key, sorted[i].Value); err != nil {
+				t.Fatal(err)
+			}
+		}
+		idxs[run], err = w.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return disk, idxs
+}
+
+func openAll(t *testing.T, disk vdisk.Disk, idxs []RunIndex, part int) []Stream {
+	t.Helper()
+	streams := make([]Stream, len(idxs))
+	for i, idx := range idxs {
+		s, err := OpenRunPart(disk, idx, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[i] = s
+	}
+	return streams
+}
+
+// TestLoserTreeMatchesReferenceMerger: the loser tree must yield the
+// same group sequence and, within each group, the same value order
+// (cross-run stability) as the heap reference, over every generator,
+// both run formats, and k = 1..8 (including runs left empty for a
+// partition).
+func TestLoserTreeMatchesReferenceMerger(t *testing.T) {
+	const parts = 3
+	for _, g := range generators {
+		for _, compressed := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/compressed=%v", g.name, compressed), func(t *testing.T) {
+				for trial := 0; trial < 6; trial++ {
+					r := rand.New(rand.NewSource(int64(200 + trial)))
+					nRuns := 1 + r.Intn(8)
+					recs := g.gen(r, r.Intn(1200)) // may be 0: all runs empty
+					disk, idxs := mergeRuns(t, recs, parts, nRuns, compressed)
+					for p := 0; p < parts; p++ {
+						want := drive(t, mustRef(t, openAll(t, disk, idxs, p)))
+						got := drive(t, mustNew(t, openAll(t, disk, idxs, p)))
+						compareGroups(t, want, got, fmt.Sprintf("%s trial %d part %d (k=%d)", g.name, trial, p, nRuns))
+					}
+				}
+			})
+		}
+	}
+}
+
+func mustRef(t *testing.T, s []Stream) *ReferenceMerger {
+	t.Helper()
+	m, err := NewReferenceMerger(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustNew(t *testing.T, s []Stream) *Merger {
+	t.Helper()
+	m, err := NewMerger(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func compareGroups(t *testing.T, want, got []groupSeq, context string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d groups from reference, %d from loser tree", context, len(want), len(got))
+	}
+	for i := range want {
+		if !bytes.Equal(want[i].key, got[i].key) {
+			t.Fatalf("%s: group %d key %q (reference) vs %q (loser tree)", context, i, want[i].key, got[i].key)
+		}
+		if len(want[i].vals) != len(got[i].vals) {
+			t.Fatalf("%s: group %q: %d values vs %d", context, want[i].key, len(want[i].vals), len(got[i].vals))
+		}
+		for j := range want[i].vals {
+			if !bytes.Equal(want[i].vals[j], got[i].vals[j]) {
+				t.Fatalf("%s: group %q value %d: %q vs %q — combiner value order diverged",
+					context, want[i].key, j, want[i].vals[j], got[i].vals[j])
+			}
+		}
+	}
+}
+
+// TestMergerEdgeCases: zero streams, a single stream, and streams with
+// an empty-key group must behave identically in both mergers.
+func TestMergerEdgeCases(t *testing.T) {
+	t.Run("zero-streams", func(t *testing.T) {
+		for _, m := range []groupedMerger{mustNew(t, nil), mustRef(t, nil)} {
+			if groups := drive(t, m); len(groups) != 0 {
+				t.Fatalf("expected no groups from empty merge, got %d", len(groups))
+			}
+		}
+	})
+	t.Run("single-stream", func(t *testing.T) {
+		recs := []Record{
+			{Part: 0, Key: []byte(""), Value: []byte("empty1")},
+			{Part: 0, Key: []byte(""), Value: []byte("empty2")},
+			{Part: 0, Key: []byte("a"), Value: []byte("x")},
+		}
+		disk, idxs := mergeRuns(t, recs, 1, 1, false)
+		want := drive(t, mustRef(t, openAll(t, disk, idxs, 0)))
+		got := drive(t, mustNew(t, openAll(t, disk, idxs, 0)))
+		if len(got) != 2 || string(got[0].key) != "" || len(got[0].vals) != 2 {
+			t.Fatalf("empty-key group mishandled: %+v", got)
+		}
+		compareGroups(t, want, got, "single-stream")
+	})
+	t.Run("empty-key-across-runs", func(t *testing.T) {
+		recs := []Record{
+			{Part: 0, Key: []byte(""), Value: []byte("r0")},
+			{Part: 0, Key: []byte(""), Value: []byte("r1")},
+			{Part: 0, Key: []byte(""), Value: []byte("r2")},
+			{Part: 0, Key: []byte("z"), Value: []byte("tail")},
+		}
+		disk, idxs := mergeRuns(t, recs, 1, 3, false)
+		want := drive(t, mustRef(t, openAll(t, disk, idxs, 0)))
+		got := drive(t, mustNew(t, openAll(t, disk, idxs, 0)))
+		compareGroups(t, want, got, "empty-key-across-runs")
+	})
+}
+
+// TestMergeIntoCombinerOrder: MergeInto (loser tree under the hood)
+// must present each group's values to the combiner in exactly the order
+// the reference merger yields them — the order combiner correctness
+// depends on.
+func TestMergeIntoCombinerOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	recs := generators[1].gen(r, 800) // duplicate-heavy
+	const parts = 2
+	disk, idxs := mergeRuns(t, recs, parts, 4, false)
+	for p := 0; p < parts; p++ {
+		var refOrder [][]byte
+		refGroups := drive(t, mustRef(t, openAll(t, disk, idxs, p)))
+		for _, g := range refGroups {
+			refOrder = append(refOrder, g.vals...)
+		}
+		var gotOrder [][]byte
+		out, err := NewRunSink(vdisk.NewMem(), "out", parts, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		combine := func(key []byte, vals [][]byte, emit func(k, v []byte) error) error {
+			for _, v := range vals {
+				gotOrder = append(gotOrder, append([]byte(nil), v...))
+			}
+			return emit(key, []byte("c"))
+		}
+		if _, _, err := MergeInto(openAll(t, disk, idxs, p), p, out, combine); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := out.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if len(refOrder) != len(gotOrder) {
+			t.Fatalf("part %d: combiner saw %d values, reference yields %d", p, len(gotOrder), len(refOrder))
+		}
+		for i := range refOrder {
+			if !bytes.Equal(refOrder[i], gotOrder[i]) {
+				t.Fatalf("part %d: combiner value %d is %q, reference order says %q", p, i, gotOrder[i], refOrder[i])
+			}
+		}
+	}
+}

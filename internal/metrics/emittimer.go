@@ -1,0 +1,169 @@
+package metrics
+
+import "time"
+
+// EmitTimer attributes the map goroutine's time between user map() code
+// (OpMapUser) and the record emit path (OpEmit) by sampling instead of
+// stamping the clock around every record.
+//
+// The fully-timed scheme reads the monotonic clock at least twice per
+// emitted record; for cheap text-centric map functions that is itself a
+// measurable slice of map-phase time — profiling overhead distorting the
+// quantity being profiled. The sampled scheme times records in pairs:
+//
+//   - The first `warmup` records are timed exactly (weight 1), so short
+//     tasks keep precise numbers.
+//   - After warm-up, every `period`-th record is a sample point: its
+//     emit span is measured and attributed with the weight of all
+//     unmeasured emits since the previous sample, and the record
+//     immediately after it measures one user gap (end of the sampled
+//     emit to the next Collect), attributed with the matching weight.
+//   - All other records touch no clock at all.
+//
+// Attribution is therefore statistical: each sample stands in for the
+// period it covers, unbiased when per-record costs are i.i.d. within a
+// task. The tail after the last sample point is covered only by
+// Finish's single unweighted user-gap reading, so up to period-1
+// records' emit time goes unattributed — bounded, and negligible at the
+// record counts where sampling matters.
+//
+// Time that must not count as emit work (producer blocking on a full
+// spill buffer, frequency-buffer profiling, user combine) is excluded
+// from the open sample via Exclude.
+//
+// An EmitTimer is not safe for concurrent use; the map goroutine owns it.
+type EmitTimer struct {
+	tm     *TaskMetrics
+	warmup int64
+	period int64
+
+	n          int64 // records seen
+	lastEmit   int64 // index of the last emit-timed record
+	lastUser   int64 // index of the last user-gap-timed record
+	postSample bool  // the next record measures one user gap
+	timed      bool  // the current record's emit span is being measured
+
+	mark        time.Time // end of the runtime's last involvement
+	sampleStart time.Time
+	excl        time.Duration
+
+	clockReads int64 // monotonic clock reads performed (overhead reporting)
+}
+
+// Defaults for the map collector: the first 16 records are timed
+// precisely (so tiny tasks and unit tests keep exact attribution), then
+// one record in 64 pays for the clock.
+const (
+	DefaultEmitWarmup = 16
+	DefaultEmitPeriod = 64
+)
+
+// NewEmitTimer returns an EmitTimer recording into tm. warmup records
+// are timed precisely; afterwards every period-th record is sampled.
+// period <= 1 keeps every record precisely timed.
+func NewEmitTimer(tm *TaskMetrics, warmup, period int64) *EmitTimer {
+	if warmup < 0 {
+		warmup = 0
+	}
+	if period < 1 {
+		period = 1
+	}
+	return &EmitTimer{
+		tm:       tm,
+		warmup:   warmup,
+		period:   period,
+		lastEmit: -1,
+		lastUser: -1,
+		mark:     time.Now(),
+	}
+}
+
+// Restart resets the user-time clock to now without attributing the
+// elapsed gap (used when task setup time must not count as map() time).
+func (e *EmitTimer) Restart() {
+	e.mark = time.Now()
+	e.clockReads++
+}
+
+// BeforeEmit is called on entry to the collector, before the emit path
+// runs, and decides whether this record is timed.
+func (e *EmitTimer) BeforeEmit() {
+	n := e.n
+	switch {
+	case n < e.warmup || e.period == 1:
+		// Precise: attribute the user gap since the last record and open
+		// an emit measurement, both weight 1.
+		now := time.Now()
+		e.clockReads++
+		e.tm.Add(OpMapUser, now.Sub(e.mark))
+		e.lastUser = n
+		e.sampleStart = now
+		e.excl = 0
+		e.timed = true
+		e.postSample = false
+	case (n-e.warmup)%e.period == 0:
+		// Sample point: open an emit measurement. The user gap leading
+		// here is not measurable (the clock was last read periods ago);
+		// the next record's gap stands in for it.
+		now := time.Now()
+		e.clockReads++
+		e.sampleStart = now
+		e.excl = 0
+		e.timed = true
+	case e.postSample:
+		// The record after a sample point: the gap from the sampled
+		// emit's end to now is one clean user gap; extrapolate it over
+		// every record since the last user measurement.
+		now := time.Now()
+		e.clockReads++
+		weight := n - e.lastUser
+		e.tm.Add(OpMapUser, time.Duration(weight)*now.Sub(e.mark))
+		e.lastUser = n
+		e.mark = now
+		e.postSample = false
+		e.timed = false
+	default:
+		e.timed = false
+	}
+}
+
+// Exclude subtracts d from the emit measurement currently open (time
+// already attributed elsewhere: buffer-full blocking, profiling, user
+// combine). Harmless when no measurement is open.
+func (e *EmitTimer) Exclude(d time.Duration) {
+	e.excl += d
+}
+
+// AfterEmit closes the measurement opened by BeforeEmit and advances
+// the record counter.
+func (e *EmitTimer) AfterEmit() {
+	n := e.n
+	e.n++
+	if !e.timed {
+		return
+	}
+	now := time.Now()
+	e.clockReads++
+	weight := n - e.lastEmit
+	e.lastEmit = n
+	e.tm.Add(OpEmit, time.Duration(weight)*(now.Sub(e.sampleStart)-e.excl))
+	e.mark = now
+	if n >= e.warmup && e.period > 1 {
+		e.postSample = true
+	}
+}
+
+// Finish attributes the trailing user gap (input consumed after the
+// last emitted record) and closes the timer.
+func (e *EmitTimer) Finish() {
+	e.clockReads++
+	e.tm.Add(OpMapUser, time.Since(e.mark))
+}
+
+// Records returns the number of records observed.
+func (e *EmitTimer) Records() int64 { return e.n }
+
+// ClockReads returns how many monotonic clock readings the timer has
+// performed — the profiling-overhead figure the sampled scheme shrinks
+// (the precise scheme reads the clock 2n times for n records).
+func (e *EmitTimer) ClockReads() int64 { return e.clockReads }

@@ -9,3 +9,5 @@ import "mrtext/internal/kvio"
 func debugAssert(bool, string, ...any) {}
 
 func debugAssertSorted([]kvio.Record, string) {}
+
+func debugAssertSortedPacked(kvio.PackedRecords, string) {}

@@ -1,7 +1,6 @@
 package mr
 
 import (
-	"bytes"
 	"fmt"
 	"time"
 
@@ -23,26 +22,28 @@ type mapOutput struct {
 // the full map-side emit path: partitioning, the frequency-buffering
 // intercept, and the spill-buffer append, with the paper's operation
 // accounting (user map time vs. emit overhead vs. profiling overhead).
+// The user/emit split is attributed by the sampled EmitTimer rather than
+// a clock stamp per record, so the profiling itself stays off the per-
+// record hot path.
 type mapCollector struct {
 	job   *Job
 	tm    *metrics.TaskMetrics
+	et    *metrics.EmitTimer
 	buf   *spillbuf.Buffer
 	freq  *freqbuf.Buffer
 	cache *freqbuf.Cache // node cache for top-k sharing (nil if disabled)
 
 	scanner    *lineScanner // the task's input scanner (for record-count extrapolation)
 	emitted    int64
-	mark       time.Time     // end of the runtime's last involvement: user time accrues from here
 	combineAcc time.Duration // combine time spent inside freqbuf (via the timed combiner)
 	published  bool
 }
 
 // Collect implements Collector.
 func (mc *mapCollector) Collect(key, value []byte) error {
-	now := time.Now()
-	mc.tm.Add(metrics.OpMapUser, now.Sub(mc.mark))
+	mc.et.BeforeEmit()
 	err := mc.emit(key, value)
-	mc.mark = time.Now()
+	mc.et.AfterEmit()
 	return err
 }
 
@@ -57,7 +58,11 @@ func (mc *mapCollector) emit(key, value []byte) error {
 		combineBefore := mc.combineAcc
 		absorbed, overflow, err := mc.freq.Offer(part, key, value)
 		combineDelta := mc.combineAcc - combineBefore
-		mc.tm.Add(metrics.OpProfile, time.Since(t0)-combineDelta)
+		span := time.Since(t0)
+		mc.tm.Add(metrics.OpProfile, span-combineDelta)
+		// The whole frequency-buffer span is attributed to OpProfile and
+		// OpCombineUser above; keep it out of the emit measurement.
+		mc.et.Exclude(span)
 		if err != nil {
 			return err
 		}
@@ -85,15 +90,14 @@ func (mc *mapCollector) emit(key, value []byte) error {
 // buffer-full block time from the emit accounting (it is already counted
 // as map-thread idle time).
 func (mc *mapCollector) append(part int, key, value []byte) error {
-	t0 := time.Now()
 	waited, err := mc.buf.Append(part, key, value)
-	mc.tm.Add(metrics.OpEmit, time.Since(t0)-waited)
+	mc.et.Exclude(waited)
 	return err
 }
 
 // finish attributes trailing user time (input lines that emitted nothing).
 func (mc *mapCollector) finish() {
-	mc.tm.Add(metrics.OpMapUser, time.Since(mc.mark))
+	mc.et.Finish()
 }
 
 // writeSpillRun turns one spill into a sorted, partitioned run on the node
@@ -102,14 +106,14 @@ func (mc *mapCollector) finish() {
 // or, under the HashGroupSpills extension, a hash-based one: raw records
 // are grouped and combined in a hash table and only the (far fewer)
 // aggregates are sorted.
-func writeSpillRun(disk vdisk.Disk, name string, parts int, recs []kvio.Record, job *Job, combine CombineFunc, tm *metrics.TaskMetrics) (kvio.RunIndex, error) {
+func writeSpillRun(disk vdisk.Disk, name string, parts int, recs kvio.PackedRecords, job *Job, combine CombineFunc, tm *metrics.TaskMetrics) (kvio.RunIndex, error) {
 	if job.HashGroupSpills && combine != nil {
 		return writeSpillRunHashed(disk, name, parts, recs, job, combine, tm)
 	}
 	t0 := time.Now()
-	kvio.SortRecords(recs)
+	kvio.SortPacked(recs)
 	tm.Add(metrics.OpSort, time.Since(t0))
-	debugAssertSorted(recs, name)
+	debugAssertSortedPacked(recs, name)
 
 	t1 := time.Now()
 	var combineDur time.Duration
@@ -119,28 +123,29 @@ func writeSpillRun(disk vdisk.Disk, name string, parts int, recs []kvio.Record, 
 	}
 	var vals [][]byte
 	i := 0
+	n := recs.Len()
 	var combineIn, combineOut int64
-	for i < len(recs) {
+	for i < n {
 		j := i + 1
-		for j < len(recs) && recs[j].Part == recs[i].Part && bytes.Equal(recs[j].Key, recs[i].Key) {
+		for j < n && recs.Meta[j].Part == recs.Meta[i].Part && recs.KeyEqual(i, j) {
 			j++
 		}
 		if combine == nil || j-i == 1 {
 			for k := i; k < j; k++ {
-				if err := rw.Append(recs[k].Part, recs[k].Key, recs[k].Value); err != nil {
+				if err := rw.Append(recs.Part(k), recs.Key(k), recs.Value(k)); err != nil {
 					return kvio.RunIndex{}, err
 				}
 			}
 		} else {
 			vals = vals[:0]
 			for k := i; k < j; k++ {
-				vals = append(vals, recs[k].Value)
+				vals = append(vals, recs.Value(k))
 			}
 			combineIn += int64(j - i)
 			c0 := time.Now()
-			err := combine(recs[i].Key, vals, func(k, v []byte) error {
+			err := combine(recs.Key(i), vals, func(k, v []byte) error {
 				combineOut++
-				return rw.Append(recs[i].Part, k, v)
+				return rw.Append(recs.Part(i), k, v)
 			})
 			combineDur += time.Since(c0)
 			if err != nil {
@@ -169,22 +174,23 @@ func writeSpillRun(disk vdisk.Disk, name string, parts int, recs []kvio.Record, 
 // write them out. For skewed text keys the aggregates are a small fraction
 // of the raw records, so the sort shrinks dramatically. Hash grouping
 // replaces the sort-based grouping, so its time is attributed to OpSort.
-func writeSpillRunHashed(disk vdisk.Disk, name string, parts int, recs []kvio.Record, job *Job, combine CombineFunc, tm *metrics.TaskMetrics) (kvio.RunIndex, error) {
+func writeSpillRunHashed(disk vdisk.Disk, name string, parts int, recs kvio.PackedRecords, job *Job, combine CombineFunc, tm *metrics.TaskMetrics) (kvio.RunIndex, error) {
 	type group struct {
 		part int
 		key  []byte
 		vals [][]byte
 	}
 	t0 := time.Now()
-	groups := make(map[string]*group, len(recs)/4+16)
-	for i := range recs {
-		r := &recs[i]
-		g, ok := groups[string(r.Key)]
+	n := recs.Len()
+	groups := make(map[string]*group, n/4+16)
+	for i := 0; i < n; i++ {
+		key := recs.Key(i) // aliases the arena, stable for this call
+		g, ok := groups[string(key)]
 		if !ok {
-			g = &group{part: r.Part, key: r.Key}
-			groups[string(r.Key)] = g
+			g = &group{part: recs.Part(i), key: key}
+			groups[string(key)] = g
 		}
-		g.vals = append(g.vals, r.Value)
+		g.vals = append(g.vals, recs.Value(i))
 	}
 	tm.Add(metrics.OpSort, time.Since(t0))
 
@@ -257,7 +263,11 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node int
 	bufBytes := job.SpillBufferBytes
 	var freq *freqbuf.Buffer
 	var cache *freqbuf.Cache
-	mc := &mapCollector{job: job, tm: tm}
+	mc := &mapCollector{
+		job: job,
+		tm:  tm,
+		et:  metrics.NewEmitTimer(tm, metrics.DefaultEmitWarmup, metrics.DefaultEmitPeriod),
+	}
 
 	ctrl := job.newController()
 	if job.FreqBuf != nil {
@@ -330,7 +340,7 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node int
 			consumeStart := time.Now()
 			name := fmt.Sprintf("%s/m%05d/spill%04d", job.filePrefix, taskIdx, spillSeq)
 			spillSeq++
-			idx, err := writeSpillRun(disk, name, job.NumReducers, spill.Records, job, job.Combine, tm)
+			idx, err := writeSpillRun(disk, name, job.NumReducers, spill.Recs, job, job.Combine, tm)
 			if err != nil {
 				buf.Release(spill, time.Since(consumeStart))
 				supportErr <- err
@@ -350,7 +360,7 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node int
 	}
 	mc.scanner = scanner
 	mapper := job.NewMapper()
-	mc.mark = time.Now()
+	mc.et.Restart()
 	var mapErr error
 	for {
 		off, line, ok, err := scanner.Next()
@@ -412,7 +422,10 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node int
 			return err
 		}
 	}
-	drainByPart := splitByPartition(drained, job.NumReducers)
+	drainByPart, err := splitByPartition(drained, job.NumReducers)
+	if err != nil {
+		return fail(err)
+	}
 	for p := 0; p < job.NumReducers; p++ {
 		t0 := time.Now()
 		before := mergeCombineAcc
@@ -455,15 +468,17 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node int
 }
 
 // splitByPartition groups already-sorted drained records by partition,
-// preserving key order within each partition.
-func splitByPartition(recs []kvio.Record, parts int) [][]kvio.Record {
+// preserving key order within each partition. A record carrying an
+// out-of-range partition is a routing bug upstream (it would silently
+// land in the wrong reducer's output), so it fails the task instead of
+// being coerced somewhere plausible.
+func splitByPartition(recs []kvio.Record, parts int) ([][]kvio.Record, error) {
 	out := make([][]kvio.Record, parts)
 	for _, r := range recs {
-		p := r.Part
-		if p < 0 || p >= parts {
-			p = 0 // untouched entries never absorbed a record; defensive
+		if r.Part < 0 || r.Part >= parts {
+			return nil, fmt.Errorf("mr: drained record key %q routed to partition %d (have %d partitions)", r.Key, r.Part, parts)
 		}
-		out[p] = append(out[p], r)
+		out[r.Part] = append(out[r.Part], r)
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,42 @@
+package mr
+
+import (
+	"strings"
+	"testing"
+
+	"mrtext/internal/kvio"
+)
+
+func TestSplitByPartition(t *testing.T) {
+	recs := []kvio.Record{
+		{Part: 0, Key: []byte("a"), Value: []byte("1")},
+		{Part: 2, Key: []byte("b"), Value: []byte("2")},
+		{Part: 0, Key: []byte("c"), Value: []byte("3")},
+	}
+	byPart, err := splitByPartition(recs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byPart[0]) != 2 || len(byPart[1]) != 0 || len(byPart[2]) != 1 {
+		t.Fatalf("bad split: %d/%d/%d records", len(byPart[0]), len(byPart[1]), len(byPart[2]))
+	}
+}
+
+// TestSplitByPartitionError: a record routed outside [0, parts) is a
+// partitioner bug and must fail the task, not be silently absorbed into
+// partition 0 (which would put keys in the wrong reducer's output).
+func TestSplitByPartitionError(t *testing.T) {
+	for _, bad := range []int{-1, 2, 99} {
+		recs := []kvio.Record{
+			{Part: 0, Key: []byte("fine"), Value: []byte("1")},
+			{Part: bad, Key: []byte("stray"), Value: []byte("2")},
+		}
+		_, err := splitByPartition(recs, 2)
+		if err == nil {
+			t.Fatalf("partition %d of 2 accepted", bad)
+		}
+		if !strings.Contains(err.Error(), "stray") {
+			t.Errorf("error should name the offending key: %v", err)
+		}
+	}
+}

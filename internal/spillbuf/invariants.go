@@ -17,9 +17,9 @@ func (b *Buffer) checkInvariants(where string) {
 	if b.inflight < 0 {
 		panic(fmt.Sprintf("spillbuf: %s: negative inflight %d", where, b.inflight))
 	}
-	if (len(b.pending) == 0) != (b.pendingBytes == 0) {
+	if (b.pending.Len() == 0) != (b.pendingBytes == 0) {
 		panic(fmt.Sprintf("spillbuf: %s: pending region inconsistent: %d records, %d bytes",
-			where, len(b.pending), b.pendingBytes))
+			where, b.pending.Len(), b.pendingBytes))
 	}
 	if b.maxPending < b.pendingBytes {
 		panic(fmt.Sprintf("spillbuf: %s: maxPending watermark %d below pendingBytes %d",
@@ -34,22 +34,31 @@ func (b *Buffer) checkInvariants(where string) {
 	}
 	// The byte budget M bounds pending+inflight, except for the single
 	// oversized record the producer may admit into an empty buffer.
-	if b.pendingBytes+b.inflight > b.capacity && len(b.pending) > 1 {
+	if b.pendingBytes+b.inflight > b.capacity && b.pending.Len() > 1 {
 		panic(fmt.Sprintf("spillbuf: %s: budget exceeded: pending %d + inflight %d > capacity %d with %d pending records",
-			where, b.pendingBytes, b.inflight, b.capacity, len(b.pending)))
+			where, b.pendingBytes, b.inflight, b.capacity, b.pending.Len()))
+	}
+	if len(b.free) > maxFreeBatches {
+		panic(fmt.Sprintf("spillbuf: %s: recycling pool holds %d batches, cap %d", where, len(b.free), maxFreeBatches))
 	}
 }
 
-// checkPendingSum asserts the O(n) byte-accounting invariant: pendingBytes
-// equals the sum of the pending records' charges. Called only at spill
-// handoff so debug builds stay usable. The caller must hold b.mu.
+// checkPendingSum asserts the O(n) accounting invariants of the packed
+// pending region: pendingBytes equals the sum of the records' charges,
+// and every meta entry's payload lies inside the arena with the charge
+// model's per-record overhead accounted. Called only at spill handoff so
+// debug builds stay usable. The caller must hold b.mu.
 func (b *Buffer) checkPendingSum(where string) {
 	var sum int64
-	for _, r := range b.pending {
-		sum += RecordBytes(r.Key, r.Value)
+	for i := 0; i < b.pending.Len(); i++ {
+		sum += RecordBytes(b.pending.Key(i), b.pending.Value(i))
 	}
 	if sum != b.pendingBytes {
 		panic(fmt.Sprintf("spillbuf: %s: pendingBytes %d != record sum %d over %d records",
-			where, b.pendingBytes, sum, len(b.pending)))
+			where, b.pendingBytes, sum, b.pending.Len()))
+	}
+	if payload := b.pending.ArenaBytes(); sum != payload+int64(b.pending.Len())*recordOverhead {
+		panic(fmt.Sprintf("spillbuf: %s: arena holds %d payload bytes, accounting expects %d",
+			where, payload, sum-int64(b.pending.Len())*recordOverhead))
 	}
 }

@@ -23,11 +23,21 @@
 // Per spill the buffer measures the producer's active production time and
 // the consumer's active consumption time and reports them to the
 // controller — the T_p/T_c measurements the spill-matcher adapts on.
+//
+// Records are stored packed, Hadoop kvbuffer/kvmeta-style: key and value
+// bytes are appended into one arena and a compact kvio.Meta entry per
+// record carries the partition, arena location, and cached key prefix. A
+// spill hands the consumer the (meta, arena) pair directly — no
+// per-record allocations — and Release recycles the batch's backing
+// arrays for the next pending region, so a steady-state map task cycles
+// a small fixed set of arenas instead of allocating two slices per
+// record.
 package spillbuf
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -44,10 +54,31 @@ var ErrClosed = errors.New("spillbuf: buffer is closed")
 // io.sort.record.percent space; we fold it into one number).
 const recordOverhead = 16
 
+// MaxCapacity bounds the buffer budget M. Arena offsets are 32-bit
+// (kvio.Meta.KeyOff), exactly as Hadoop's kvbuffer caps io.sort.mb at
+// 2047 MB for its int offsets; 2 GiB is far above any configuration the
+// experiments use.
+const MaxCapacity = 1 << 31
+
+// maxArenaBytes is the hard ceiling on one pending region's arena: past
+// this, 32-bit arena offsets would overflow. Reachable only through a
+// single record of several GiB (the oversized-record escape hatch
+// ignores M), which Append rejects explicitly.
+const maxArenaBytes = math.MaxUint32
+
+// maxFreeBatches caps the recycling pool: one batch being refilled plus
+// one in flight covers the paper's 1–1 producer/consumer shape.
+const maxFreeBatches = 2
+
 // Spill is one batch of records handed from the producer to the consumer.
 type Spill struct {
-	Records []kvio.Record
-	Bytes   int64
+	// Recs holds the spill's records in emit order, packed into a meta
+	// array plus byte arena. The consumer owns it until Release, which
+	// recycles the backing arrays.
+	Recs kvio.PackedRecords
+	// Bytes is the buffer-budget charge of the batch (payload bytes plus
+	// per-record overhead).
+	Bytes int64
 	// Produce is the producer's active time (map() + emit, excluding
 	// blocked time) spent generating this spill's records.
 	Produce time.Duration
@@ -66,11 +97,12 @@ type Buffer struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	pending      []kvio.Record
+	pending      kvio.PackedRecords
 	pendingBytes int64
 	inflight     int64
 	closed       bool
 	blocked      bool // producer currently blocked on a full buffer
+	free         []kvio.PackedRecords // released batches, recycled as pending regions
 
 	produceMark time.Time     // producer's clock: end of its last Append (or creation)
 	produceAcc  time.Duration // active produce time accumulated for the pending spill
@@ -85,6 +117,9 @@ type Buffer struct {
 func New(capacity int64, ctrl spillmatch.Controller, tm *metrics.TaskMetrics) (*Buffer, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("spillbuf: capacity must be positive, got %d", capacity)
+	}
+	if capacity > MaxCapacity {
+		return nil, fmt.Errorf("spillbuf: capacity %d exceeds the %d arena-offset bound", capacity, int64(MaxCapacity))
 	}
 	if ctrl == nil {
 		ctrl = spillmatch.NewStatic(spillmatch.DefaultStaticPercent)
@@ -129,12 +164,11 @@ func (b *Buffer) Append(part int, key, value []byte) (time.Duration, error) {
 		b.mu.Unlock()
 		return waited, ErrClosed
 	}
-	rec := kvio.Record{
-		Part:  part,
-		Key:   append([]byte(nil), key...),
-		Value: append([]byte(nil), value...),
+	if int64(len(b.pending.Arena))+int64(len(key))+int64(len(value)) > maxArenaBytes {
+		b.mu.Unlock()
+		return waited, fmt.Errorf("spillbuf: record of %d bytes overflows the %d-byte arena offset space", int64(len(key))+int64(len(value)), int64(maxArenaBytes))
 	}
-	b.pending = append(b.pending, rec)
+	b.pending.Append(part, key, value)
 	b.pendingBytes += size
 	if b.pendingBytes > b.maxPending {
 		b.maxPending = b.pendingBytes
@@ -171,7 +205,7 @@ func (b *Buffer) NextSpill() (s Spill, ok bool) {
 		if takeable {
 			b.checkPendingSum("NextSpill")
 			s = Spill{
-				Records: b.pending,
+				Recs:    b.pending,
 				Bytes:   b.pendingBytes,
 				Produce: b.produceAcc,
 				Seq:     b.seq,
@@ -180,7 +214,13 @@ func (b *Buffer) NextSpill() (s Spill, ok bool) {
 			b.spills++
 			b.spillBytes += b.pendingBytes
 			b.inflight += b.pendingBytes
-			b.pending = nil
+			// Start the next pending region on a recycled batch when one
+			// is available, so steady state reuses the same arenas.
+			b.pending = kvio.PackedRecords{}
+			if n := len(b.free); n > 0 {
+				b.pending = b.free[n-1]
+				b.free = b.free[:n-1]
+			}
 			b.pendingBytes = 0
 			b.produceAcc = 0
 			b.checkInvariants("NextSpill")
@@ -199,12 +239,17 @@ func (b *Buffer) NextSpill() (s Spill, ok bool) {
 
 // Release frees a consumed spill's bytes, reports its measurements to the
 // controller, and wakes a blocked producer. consume is the consumer's
-// active processing time for the spill.
+// active processing time for the spill. The spill's backing arrays are
+// recycled; the caller must not touch s.Recs afterwards.
 func (b *Buffer) Release(s Spill, consume time.Duration) {
 	b.mu.Lock()
 	b.inflight -= s.Bytes
 	if b.inflight < 0 {
 		b.inflight = 0
+	}
+	if len(b.free) < maxFreeBatches {
+		s.Recs.Reset()
+		b.free = append(b.free, s.Recs)
 	}
 	b.checkInvariants("Release")
 	b.mu.Unlock()

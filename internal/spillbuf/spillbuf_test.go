@@ -46,8 +46,9 @@ func TestAllRecordsDeliveredOnce(t *testing.T) {
 				if !ok {
 					return
 				}
-				for _, r := range s.Records {
-					got = append(got, int(r.Value[0])|int(r.Value[1])<<8)
+				for i := 0; i < s.Recs.Len(); i++ {
+					v := s.Recs.Value(i)
+					got = append(got, int(v[0])|int(v[1])<<8)
 				}
 				b.Release(s, time.Microsecond)
 			}
@@ -93,10 +94,59 @@ func TestRecordsAreCopied(t *testing.T) {
 	if !ok {
 		t.Fatal("no spill")
 	}
-	if string(s.Records[0].Key) != "key" || string(s.Records[0].Value) != "value" {
-		t.Errorf("buffers aliased: %q %q", s.Records[0].Key, s.Records[0].Value)
+	if string(s.Recs.Key(0)) != "key" || string(s.Recs.Value(0)) != "value" {
+		t.Errorf("buffers aliased: %q %q", s.Recs.Key(0), s.Recs.Value(0))
+	}
+	if s.Recs.Part(0) != 0 {
+		t.Errorf("partition %d", s.Recs.Part(0))
 	}
 	b.Release(s, 0)
+}
+
+func TestPackedSpillContents(t *testing.T) {
+	// Records arrive packed in emit order with partition, key and value
+	// intact, and Release recycles the batch's arena for later spills.
+	b, err := New(1<<20, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key%04d", i))
+		v := []byte(fmt.Sprintf("value%04d", i))
+		if _, err := b.Append(i%7, k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	s, ok := b.NextSpill()
+	if !ok || s.Recs.Len() != n {
+		t.Fatalf("spill: ok=%v len=%d", ok, s.Recs.Len())
+	}
+	for i := 0; i < n; i++ {
+		wantK := fmt.Sprintf("key%04d", i)
+		wantV := fmt.Sprintf("value%04d", i)
+		if s.Recs.Part(i) != i%7 || string(s.Recs.Key(i)) != wantK || string(s.Recs.Value(i)) != wantV {
+			t.Fatalf("record %d: (%d, %q, %q)", i, s.Recs.Part(i), s.Recs.Key(i), s.Recs.Value(i))
+		}
+	}
+	arenaCap := cap(s.Recs.Arena)
+	b.Release(s, 0)
+	b.mu.Lock()
+	recycled := len(b.free) == 1 && cap(b.free[0].Arena) == arenaCap && len(b.free[0].Arena) == 0
+	b.mu.Unlock()
+	if !recycled {
+		t.Error("released batch not recycled into the free pool")
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	if _, err := New(MaxCapacity+1, nil, nil); err == nil {
+		t.Error("capacity beyond the arena-offset bound accepted")
+	}
+	if _, err := New(MaxCapacity, nil, nil); err != nil {
+		t.Errorf("max capacity rejected: %v", err)
+	}
 }
 
 func TestAppendAfterClose(t *testing.T) {
@@ -347,7 +397,7 @@ func TestManyProducersSingleConsumer(t *testing.T) {
 			if !ok {
 				return
 			}
-			delivered += len(s.Records)
+			delivered += s.Recs.Len()
 			b.Release(s, 0)
 		}
 	}()

@@ -1,0 +1,469 @@
+// Package spillpath is the regression harness for the map-side spill
+// path: it measures the append → sort → spill → merge pipeline at
+// several input scales, once through the pre-optimization baseline
+// ([]kvio.Record with per-record copies, sort.SliceStable via
+// kvio.SortRecords, and the container/heap ReferenceMerger) and once
+// through the packed path (arena-packed kvio.PackedRecords, the prefix
+// index sort kvio.SortPacked, and the loser-tree kvio.Merger). Both
+// paths write byte-identical run files, so the comparison isolates the
+// abstraction cost the packed layout removes.
+//
+// The harness is its own measurement loop rather than testing.Benchmark
+// so the iteration count is configurable: cmd/mrbench -spillbench runs
+// it long enough for stable numbers and writes BENCH_spillpath.json,
+// while the package test runs a two-iteration smoke at a small scale.
+// Per-stage figures are ns/record (minimum over iterations, the
+// standard noise filter) and allocations/record (also the minimum, i.e.
+// the steady state after internal buffers have grown).
+package spillpath
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"mrtext/internal/kvio"
+	"mrtext/internal/metrics"
+	"mrtext/internal/vdisk"
+)
+
+// Config sizes one harness run.
+type Config struct {
+	Records int   // records per scale point
+	Parts   int   // partitions (reducers)
+	Runs    int   // spill runs merged in the merge stage
+	Iters   int   // measurement iterations per stage (min is reported)
+	Seed    int64 // workload generator seed
+}
+
+// DefaultScales are the record counts cmd/mrbench measures.
+var DefaultScales = []int{8192, 65536, 524288}
+
+// Stage is one pipeline stage's per-record cost.
+type Stage struct {
+	NsPerRecord     float64 `json:"ns_per_record"`
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+}
+
+// Path is the four-stage cost profile of one implementation.
+type Path struct {
+	Append Stage `json:"append"`
+	Sort   Stage `json:"sort"`
+	Spill  Stage `json:"spill"`
+	Merge  Stage `json:"merge"`
+	Total  Stage `json:"total"`
+}
+
+// Scale compares baseline and packed at one input size.
+type Scale struct {
+	Records      int     `json:"records"`
+	Runs         int     `json:"runs"`
+	Parts        int     `json:"parts"`
+	Baseline     Path    `json:"baseline"`
+	Packed       Path    `json:"packed"`
+	SortSpeedup  float64 `json:"sort_speedup"`
+	MergeSpeedup float64 `json:"merge_speedup"`
+	TotalSpeedup float64 `json:"total_speedup"`
+}
+
+// Overhead reports the emit-timer satellite: per-record cost of the
+// precise (two clock reads per record) and sampled attribution schemes.
+type Overhead struct {
+	PreciseNsPerRecord      float64 `json:"precise_ns_per_record"`
+	SampledNsPerRecord      float64 `json:"sampled_ns_per_record"`
+	DeltaNsPerRecord        float64 `json:"delta_ns_per_record"`
+	PreciseClockReadsPerRec float64 `json:"precise_clock_reads_per_record"`
+	SampledClockReadsPerRec float64 `json:"sampled_clock_reads_per_record"`
+}
+
+// Report is the full harness output, serialized to BENCH_spillpath.json.
+type Report struct {
+	Note        string   `json:"note"`
+	GoVersion   string   `json:"go_version"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Scales      []Scale  `json:"scales"`
+	EmitTimer   Overhead `json:"emit_timer"`
+	GeneratedAt string   `json:"generated_at"`
+}
+
+// workload is a deterministic word-count-shaped input: Zipf-distributed
+// keys over a shared-prefix vocabulary ("word/NNNNNNN", so most prefix
+// comparisons tie on the first 8 bytes and stress the tie path), small
+// numeric values, fnv partitioning.
+type workload struct {
+	parts []int
+	keys  [][]byte
+	vals  [][]byte
+}
+
+func generate(n, parts int, seed int64) *workload {
+	r := rand.New(rand.NewSource(seed))
+	vocab := n/8 + 16
+	zipf := rand.NewZipf(r, 1.2, 1, uint64(vocab-1))
+	w := &workload{
+		parts: make([]int, n),
+		keys:  make([][]byte, n),
+		vals:  make([][]byte, n),
+	}
+	h := fnv.New32a()
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("word/%07d", zipf.Uint64()))
+		h.Reset()
+		h.Write(k)
+		w.keys[i] = k
+		w.vals[i] = []byte("1")
+		w.parts[i] = int(h.Sum32() % uint32(parts))
+	}
+	return w
+}
+
+// measure runs fn iters times (setup before each, untimed) and returns
+// the per-record minimum of wall time and of malloc count.
+func measure(n, iters int, setup, fn func()) Stage {
+	bestNs := time.Duration(1<<63 - 1)
+	bestAllocs := ^uint64(0)
+	var before, after runtime.MemStats
+	for i := 0; i < iters; i++ {
+		setup()
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		fn()
+		dt := time.Since(t0)
+		runtime.ReadMemStats(&after)
+		if dt < bestNs {
+			bestNs = dt
+		}
+		if a := after.Mallocs - before.Mallocs; a < bestAllocs {
+			bestAllocs = a
+		}
+	}
+	return Stage{
+		NsPerRecord:     float64(bestNs.Nanoseconds()) / float64(n),
+		AllocsPerRecord: float64(bestAllocs) / float64(n),
+	}
+}
+
+func sum(stages ...Stage) Stage {
+	var t Stage
+	for _, s := range stages {
+		t.NsPerRecord += s.NsPerRecord
+		t.AllocsPerRecord += s.AllocsPerRecord
+	}
+	return t
+}
+
+// merger is the grouped-merge API both kvio.Merger and
+// kvio.ReferenceMerger implement.
+type merger interface {
+	NextGroup() ([]byte, bool, error)
+	NextValue() ([]byte, bool, error)
+	Close() error
+}
+
+// drainMerge pulls every group and value out of m into out.
+func drainMerge(m merger, part int, out kvio.RunSink) error {
+	defer m.Close()
+	for {
+		key, ok, err := m.NextGroup()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		for {
+			v, ok, err := m.NextValue()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if err := out.Append(part, key, v); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// writeMergeRuns splits sorted records round-robin into cfg.Runs sorted
+// run files (each keeps the global order, so every run is itself
+// sorted) and returns the disk and indexes both merge stages read.
+func writeMergeRuns(sorted []kvio.Record, cfg Config) (vdisk.Disk, []kvio.RunIndex, error) {
+	disk := vdisk.NewMem()
+	idxs := make([]kvio.RunIndex, cfg.Runs)
+	for r := 0; r < cfg.Runs; r++ {
+		w, err := kvio.NewRunSink(disk, fmt.Sprintf("run%d", r), cfg.Parts, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := r; i < len(sorted); i += cfg.Runs {
+			if err := w.Append(sorted[i].Part, sorted[i].Key, sorted[i].Value); err != nil {
+				return nil, nil, err
+			}
+		}
+		idxs[r], err = w.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return disk, idxs, nil
+}
+
+// benchMerge measures a k-way merge of the prepared runs across all
+// partitions through the given merger constructor.
+func benchMerge(disk vdisk.Disk, idxs []kvio.RunIndex, cfg Config, newMerger func([]kvio.Stream) (merger, error)) (Stage, error) {
+	var stageErr error
+	st := measure(cfg.Records, cfg.Iters, func() {}, func() {
+		out, err := kvio.NewRunSink(vdisk.NewMem(), "merged", cfg.Parts, false)
+		if err != nil {
+			stageErr = err
+			return
+		}
+		for p := 0; p < cfg.Parts; p++ {
+			streams := make([]kvio.Stream, len(idxs))
+			for j, idx := range idxs {
+				s, err := kvio.OpenRunPart(disk, idx, p)
+				if err != nil {
+					stageErr = err
+					return
+				}
+				streams[j] = s
+			}
+			m, err := newMerger(streams)
+			if err != nil {
+				stageErr = err
+				return
+			}
+			if err := drainMerge(m, p, out); err != nil {
+				stageErr = err
+				return
+			}
+		}
+		if _, err := out.Close(); err != nil {
+			stageErr = err
+		}
+	})
+	return st, stageErr
+}
+
+// benchBaseline measures the pre-optimization path.
+func benchBaseline(w *workload, cfg Config) (Path, error) {
+	n := cfg.Records
+	var p Path
+
+	// Append: one key copy and one value copy per record, as the old
+	// spill buffer did.
+	var recs []kvio.Record
+	p.Append = measure(n, cfg.Iters, func() { recs = nil }, func() {
+		recs = make([]kvio.Record, 0, n)
+		for j := 0; j < n; j++ {
+			recs = append(recs, kvio.Record{
+				Part:  w.parts[j],
+				Key:   append([]byte(nil), w.keys[j]...),
+				Value: append([]byte(nil), w.vals[j]...),
+			})
+		}
+	})
+
+	// Sort: sort.SliceStable over the record slice.
+	work := make([]kvio.Record, n)
+	p.Sort = measure(n, cfg.Iters, func() { copy(work, recs) }, func() {
+		kvio.SortRecords(work)
+	})
+	sorted := make([]kvio.Record, n)
+	copy(sorted, work)
+
+	// Spill: the writeSpillRun grouping loop (combine-free shape) into
+	// an uncompressed run file.
+	var spillErr error
+	p.Spill = measure(n, cfg.Iters, func() {}, func() {
+		rw, err := kvio.NewRunSink(vdisk.NewMem(), "spill", cfg.Parts, false)
+		if err != nil {
+			spillErr = err
+			return
+		}
+		i := 0
+		for i < len(sorted) {
+			j := i + 1
+			for j < len(sorted) && sorted[j].Part == sorted[i].Part && string(sorted[j].Key) == string(sorted[i].Key) {
+				j++
+			}
+			for k := i; k < j; k++ {
+				if err := rw.Append(sorted[k].Part, sorted[k].Key, sorted[k].Value); err != nil {
+					spillErr = err
+					return
+				}
+			}
+			i = j
+		}
+		if _, err := rw.Close(); err != nil {
+			spillErr = err
+		}
+	})
+	if spillErr != nil {
+		return p, spillErr
+	}
+
+	// Merge: container/heap reference merger.
+	disk, idxs, err := writeMergeRuns(sorted, cfg)
+	if err != nil {
+		return p, err
+	}
+	p.Merge, err = benchMerge(disk, idxs, cfg, func(s []kvio.Stream) (merger, error) {
+		return kvio.NewReferenceMerger(s)
+	})
+	if err != nil {
+		return p, err
+	}
+	p.Total = sum(p.Append, p.Sort, p.Spill, p.Merge)
+	return p, nil
+}
+
+// benchPacked measures the arena-packed path.
+func benchPacked(w *workload, cfg Config) (Path, error) {
+	n := cfg.Records
+	var p Path
+
+	// Append: packed into a reused arena, as the recycling spill buffer
+	// does in steady state.
+	var packed kvio.PackedRecords
+	p.Append = measure(n, cfg.Iters, func() {}, func() {
+		packed.Reset()
+		for j := 0; j < n; j++ {
+			packed.Append(w.parts[j], w.keys[j], w.vals[j])
+		}
+	})
+
+	// Sort: the prefix index sort permutes only the meta array.
+	work := kvio.PackedRecords{Meta: make([]kvio.Meta, n), Arena: packed.Arena}
+	p.Sort = measure(n, cfg.Iters, func() { copy(work.Meta, packed.Meta) }, func() {
+		kvio.SortPacked(work)
+	})
+	sortedPacked := kvio.PackedRecords{Meta: make([]kvio.Meta, n), Arena: packed.Arena}
+	copy(sortedPacked.Meta, work.Meta)
+
+	// Spill: the packed writeSpillRun grouping loop.
+	var spillErr error
+	p.Spill = measure(n, cfg.Iters, func() {}, func() {
+		rw, err := kvio.NewRunSink(vdisk.NewMem(), "spill", cfg.Parts, false)
+		if err != nil {
+			spillErr = err
+			return
+		}
+		i := 0
+		for i < sortedPacked.Len() {
+			j := i + 1
+			for j < sortedPacked.Len() && sortedPacked.Meta[j].Part == sortedPacked.Meta[i].Part && sortedPacked.KeyEqual(i, j) {
+				j++
+			}
+			for k := i; k < j; k++ {
+				if err := rw.Append(sortedPacked.Part(k), sortedPacked.Key(k), sortedPacked.Value(k)); err != nil {
+					spillErr = err
+					return
+				}
+			}
+			i = j
+		}
+		if _, err := rw.Close(); err != nil {
+			spillErr = err
+		}
+	})
+	if spillErr != nil {
+		return p, spillErr
+	}
+
+	// Merge: loser-tree merger over the same run files the baseline
+	// merged (the on-disk format is identical).
+	sorted := make([]kvio.Record, n)
+	for i := 0; i < n; i++ {
+		sorted[i] = sortedPacked.Record(i)
+	}
+	disk, idxs, err := writeMergeRuns(sorted, cfg)
+	if err != nil {
+		return p, err
+	}
+	p.Merge, err = benchMerge(disk, idxs, cfg, func(s []kvio.Stream) (merger, error) {
+		return kvio.NewMerger(s)
+	})
+	if err != nil {
+		return p, err
+	}
+	p.Total = sum(p.Append, p.Sort, p.Spill, p.Merge)
+	return p, nil
+}
+
+// BenchScale runs both paths at one scale.
+func BenchScale(cfg Config) (Scale, error) {
+	w := generate(cfg.Records, cfg.Parts, cfg.Seed)
+	base, err := benchBaseline(w, cfg)
+	if err != nil {
+		return Scale{}, fmt.Errorf("spillpath: baseline at %d records: %w", cfg.Records, err)
+	}
+	packed, err := benchPacked(w, cfg)
+	if err != nil {
+		return Scale{}, fmt.Errorf("spillpath: packed at %d records: %w", cfg.Records, err)
+	}
+	return Scale{
+		Records:      cfg.Records,
+		Runs:         cfg.Runs,
+		Parts:        cfg.Parts,
+		Baseline:     base,
+		Packed:       packed,
+		SortSpeedup:  base.Sort.NsPerRecord / packed.Sort.NsPerRecord,
+		MergeSpeedup: base.Merge.NsPerRecord / packed.Merge.NsPerRecord,
+		TotalSpeedup: base.Total.NsPerRecord / packed.Total.NsPerRecord,
+	}, nil
+}
+
+// BenchEmitTimer measures the collector-attribution satellite: the
+// per-record cost and clock traffic of precise (period 1) vs. sampled
+// (default period) emit timing around a no-op emit.
+func BenchEmitTimer(records, iters int) Overhead {
+	run := func(period int64) (Stage, float64) {
+		var clocksPerRec float64
+		st := measure(records, iters, func() {}, func() {
+			tm := metrics.NewTaskMetrics()
+			et := metrics.NewEmitTimer(tm, metrics.DefaultEmitWarmup, period)
+			for i := 0; i < records; i++ {
+				et.BeforeEmit()
+				et.AfterEmit()
+			}
+			et.Finish()
+			clocksPerRec = float64(et.ClockReads()) / float64(records)
+		})
+		return st, clocksPerRec
+	}
+	precise, preciseClocks := run(1)
+	sampled, sampledClocks := run(metrics.DefaultEmitPeriod)
+	return Overhead{
+		PreciseNsPerRecord:      precise.NsPerRecord,
+		SampledNsPerRecord:      sampled.NsPerRecord,
+		DeltaNsPerRecord:        precise.NsPerRecord - sampled.NsPerRecord,
+		PreciseClockReadsPerRec: preciseClocks,
+		SampledClockReadsPerRec: sampledClocks,
+	}
+}
+
+// Run executes the full harness: every scale plus the emit-timer
+// overhead measurement.
+func Run(scales []int, parts, runs, iters int, seed int64) (Report, error) {
+	rep := Report{
+		Note: "map-side spill path: baseline ([]Record copies + sort.SliceStable + heap merge) " +
+			"vs packed (arena + prefix index sort + loser tree); ns and allocs are min over iterations, per record",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, n := range scales {
+		sc, err := BenchScale(Config{Records: n, Parts: parts, Runs: runs, Iters: iters, Seed: seed})
+		if err != nil {
+			return rep, err
+		}
+		rep.Scales = append(rep.Scales, sc)
+	}
+	rep.EmitTimer = BenchEmitTimer(1<<16, iters)
+	return rep, nil
+}

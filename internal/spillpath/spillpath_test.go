@@ -1,0 +1,44 @@
+package spillpath
+
+import "testing"
+
+// TestHarnessSmoke runs both paths at a small scale with two
+// iterations: the point is that every stage executes without error and
+// produces sane numbers, not that the timings are stable.
+func TestHarnessSmoke(t *testing.T) {
+	sc, err := BenchScale(Config{Records: 2048, Parts: 3, Runs: 4, Iters: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range map[string]Path{"baseline": sc.Baseline, "packed": sc.Packed} {
+		for stage, s := range map[string]Stage{"append": p.Append, "sort": p.Sort, "spill": p.Spill, "merge": p.Merge} {
+			if s.NsPerRecord <= 0 {
+				t.Errorf("%s %s: non-positive ns/record %v", name, stage, s.NsPerRecord)
+			}
+			if s.AllocsPerRecord < 0 {
+				t.Errorf("%s %s: negative allocs/record %v", name, stage, s.AllocsPerRecord)
+			}
+		}
+	}
+	if sc.SortSpeedup <= 0 || sc.MergeSpeedup <= 0 {
+		t.Fatalf("speedups not computed: sort %v merge %v", sc.SortSpeedup, sc.MergeSpeedup)
+	}
+}
+
+func TestEmitTimerOverhead(t *testing.T) {
+	o := BenchEmitTimer(1<<14, 2)
+	if o.PreciseClockReadsPerRec < 1.9 {
+		t.Errorf("precise scheme should read the clock ~2x per record, got %v", o.PreciseClockReadsPerRec)
+	}
+	if o.SampledClockReadsPerRec > 0.2 {
+		t.Errorf("sampled scheme should read the clock rarely, got %v per record", o.SampledClockReadsPerRec)
+	}
+}
+
+func BenchmarkSpillPathSmoke(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := BenchScale(Config{Records: 1024, Parts: 2, Runs: 4, Iters: 1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
