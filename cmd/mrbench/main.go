@@ -14,13 +14,16 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"mrtext/internal/experiments"
+	"mrtext/internal/pprofserve"
 	"mrtext/internal/spillpath"
+	"mrtext/internal/trace"
 )
 
 func runSpillBench(out string, iters int, seed int64) error {
@@ -59,8 +62,23 @@ func main() {
 		spillbench = flag.Bool("spillbench", false, "run the spill-path regression harness and write -spillbench-out")
 		sbOut      = flag.String("spillbench-out", "BENCH_spillpath.json", "output file for -spillbench")
 		sbIters    = flag.Int("spillbench-iters", 5, "measurement iterations per stage for -spillbench")
+		traceOut   = flag.String("trace", "", "record every job run and write one Chrome/Perfetto trace to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and live expvar metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		pprofserve.Serve(*pprofAddr, func(err error) {
+			fmt.Fprintln(os.Stderr, "mrbench: pprof:", err)
+		})
+	}
+	var tr *trace.Tracer
+	if *traceOut != "" {
+		// Experiments construct their jobs internally; the process-wide
+		// default tracer is how they inherit tracing.
+		tr = trace.New(0)
+		trace.SetDefault(tr)
+	}
 
 	if *list {
 		for _, n := range experiments.Names() {
@@ -109,4 +127,26 @@ func main() {
 		}
 		fmt.Printf("==== %s done in %s ====\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+
+	if tr != nil {
+		if err := writeTraceFile(*traceOut, tr); err != nil {
+			fmt.Fprintf(os.Stderr, "mrbench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		if d := tr.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "mrbench: warning: trace ring overflowed, %d events dropped\n", d)
+		}
+		fmt.Printf("wrote trace to %s (load it at ui.perfetto.dev)\n", *traceOut)
+	}
+}
+
+func writeTraceFile(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteJSON(f, tr.Events()); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
 }

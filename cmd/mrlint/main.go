@@ -29,6 +29,7 @@ import (
 	"mrtext/internal/analysis/goroleak"
 	"mrtext/internal/analysis/load"
 	"mrtext/internal/analysis/lockcheck"
+	"mrtext/internal/analysis/spancheck"
 )
 
 // analyzers is the mrlint suite, in report order.
@@ -37,6 +38,7 @@ var analyzers = []*analysis.Analyzer{
 	lockcheck.Analyzer,
 	goroleak.Analyzer,
 	closecheck.Analyzer,
+	spancheck.Analyzer,
 }
 
 func main() {

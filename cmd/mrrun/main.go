@@ -10,12 +10,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"mrtext"
+	"mrtext/internal/pprofserve"
 )
 
 func main() {
@@ -31,6 +33,9 @@ func main() {
 		storage   = flag.Float64("syntext-storage", 0.5, "SynText storage intensity [0,1]")
 		fast      = flag.Bool("fast", false, "disable disk/network throttling")
 		verbose   = flag.Bool("v", false, "print per-counter details")
+		traceOut  = flag.String("trace", "", "write a Chrome/Perfetto trace of the job to this file")
+		gantt     = flag.Bool("gantt", false, "print a terminal Gantt chart of the job timeline")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and live expvar metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -39,6 +44,12 @@ func main() {
 		os.Exit(2)
 	}
 	app := strings.ToLower(flag.Arg(0))
+
+	if *pprofAddr != "" {
+		pprofserve.Serve(*pprofAddr, func(err error) {
+			fmt.Fprintln(os.Stderr, "mrrun: pprof:", err)
+		})
+	}
 
 	cfg := mrtext.LocalSmallCluster()
 	cfg.Nodes = *nodes
@@ -103,6 +114,12 @@ func main() {
 	}
 	job.SpillMatcher = *spill
 
+	var tr *mrtext.Tracer
+	if *traceOut != "" || *gantt {
+		tr = mrtext.NewTracer(0)
+		job.Trace = tr
+	}
+
 	res, err := mrtext.Run(c, job)
 	if err != nil {
 		die(err)
@@ -110,6 +127,8 @@ func main() {
 	fmt.Printf("%s: wall %s (map %s, shuffle+reduce %s), %d map + %d reduce tasks\n",
 		res.Job, res.Wall.Round(1e6), res.MapWall.Round(1e6), res.ReduceWall.Round(1e6),
 		res.MapTasks, res.ReduceTasks)
+	fmt.Printf("placement: %d data-local, %d stolen map tasks\n",
+		res.LocalMapTasks, res.StolenMapTasks)
 	fmt.Printf("map idle %.1f%%, support idle %.1f%%\n",
 		100*res.MapIdleFraction(), 100*res.SupportIdleFraction())
 	fmt.Print(res.Agg.Breakdown())
@@ -118,6 +137,31 @@ func main() {
 			fmt.Printf("%-24s %d\n", name, res.Agg.Counters[name])
 		}
 	}
+	if *gantt {
+		if err := mrtext.WriteGantt(os.Stdout, tr, 100); err != nil {
+			die(err)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTraceFile(*traceOut, tr); err != nil {
+			die(err)
+		}
+		if d := tr.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "mrrun: warning: trace ring overflowed, %d events dropped\n", d)
+		}
+		fmt.Printf("wrote trace to %s (load it at ui.perfetto.dev)\n", *traceOut)
+	}
+}
+
+func writeTraceFile(path string, tr *mrtext.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := mrtext.WriteTrace(f, tr); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
 }
 
 func die(err error) {

@@ -1,0 +1,203 @@
+// Package spancheck flags trace spans that are started but never ended.
+// A span opened with trace.Tracer.Start (or a Start*-named wrapper) only
+// reaches the ring buffer when one of its End* methods runs; a forgotten
+// End silently drops the interval from the exported timeline, which shows
+// up as an inexplicable hole in the Perfetto view rather than a failure.
+//
+// Heuristic: a short-variable declaration `s := x.Start*(...)` (any callee
+// whose name begins with "start", case-insensitively) whose static type is
+// a named type called "Span" is tracked through the function body. The
+// obligation is satisfied if any End*-named method is called on s —
+// directly, deferred, or inside a nested closure — or if s escapes: passed
+// to a call, returned, assigned elsewhere, placed in a composite literal,
+// or sent on a channel. Like closecheck, the type is matched structurally
+// (named "Span" with an End method) so the analyzer needs no import of the
+// runtime's trace package and golden tests can define their own Span.
+// Path-sensitivity (an End missing on one early-return branch) is out of
+// scope.
+package spancheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mrtext/internal/analysis"
+)
+
+// Analyzer is the spancheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "spancheck",
+	Doc:  "flags trace spans that are started but never ended or handed off",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// tracked is one span-typed local awaiting an End or an escape.
+type tracked struct {
+	obj       types.Object
+	declPos   ast.Expr
+	satisfied bool
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var spans []*tracked
+
+	// Collect candidates: s := x.Start*(...) with Span-typed s.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false // nested function literals get their own checkBody
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || assign.Tok.String() != ":=" || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || !startNamed(call) {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil || !isSpan(obj.Type()) {
+				continue
+			}
+			spans = append(spans, &tracked{obj: obj, declPos: lhs})
+		}
+		return true
+	})
+	if len(spans) == 0 {
+		return
+	}
+
+	byObj := make(map[types.Object]*tracked, len(spans))
+	for _, t := range spans {
+		byObj[t.obj] = t
+	}
+	lookup := func(e ast.Expr) *tracked {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		return byObj[pass.TypesInfo.Uses[id]]
+	}
+
+	// Scan for satisfying uses, including inside nested closures (a
+	// deferred func() { s.End() } discharges the obligation).
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			// s.End() / s.EndCounts(...) satisfies s; s as an argument
+			// escapes s. Other method calls on s do neither.
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+				if t := lookup(sel.X); t != nil {
+					if strings.HasPrefix(sel.Sel.Name, "End") {
+						t.satisfied = true
+					}
+					return true
+				}
+			}
+			for _, arg := range v.Args {
+				if t := lookup(arg); t != nil {
+					t.satisfied = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range v.Results {
+				if t := lookup(r); t != nil {
+					t.satisfied = true
+				}
+			}
+		case *ast.AssignStmt:
+			if v.Tok.String() == ":=" {
+				return true
+			}
+			for _, r := range v.Rhs {
+				if t := lookup(r); t != nil {
+					t.satisfied = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range v.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if t := lookup(el); t != nil {
+					t.satisfied = true
+				}
+			}
+		case *ast.SendStmt:
+			if t := lookup(v.Value); t != nil {
+				t.satisfied = true
+			}
+		}
+		return true
+	})
+
+	for _, t := range spans {
+		if !t.satisfied {
+			pass.Reportf(t.declPos.Pos(), "span %s is started but never ended or handed off", t.obj.Name())
+		}
+	}
+}
+
+// startNamed reports whether the call's callee is named start/Start with
+// any suffix (Start, StartSpan, startSpan, start, ...).
+func startNamed(call *ast.CallExpr) bool {
+	var name string
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fn.Sel.Name
+	case *ast.Ident:
+		name = fn.Name
+	default:
+		return false
+	}
+	return strings.HasPrefix(strings.ToLower(name), "start")
+}
+
+// isSpan reports whether t is (a pointer to) a named type called "Span"
+// that has a method whose name begins with "End".
+func isSpan(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Span" {
+		return false
+	}
+	return hasEndMethod(types.NewMethodSet(named)) ||
+		hasEndMethod(types.NewMethodSet(types.NewPointer(named)))
+}
+
+func hasEndMethod(ms *types.MethodSet) bool {
+	for i := 0; i < ms.Len(); i++ {
+		if strings.HasPrefix(ms.At(i).Obj().Name(), "End") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package spancheck_test
+
+import (
+	"testing"
+
+	"mrtext/internal/analysis/analysistest"
+	"mrtext/internal/analysis/spancheck"
+)
+
+func TestSpanCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), spancheck.Analyzer, "a")
+}

@@ -1,0 +1,87 @@
+// Package a seeds spancheck violations: started spans that are abandoned,
+// next to every legitimate way of discharging the obligation. The local
+// Span/Tracer types stand in for the runtime's trace package, which the
+// golden harness cannot import.
+package a
+
+// Span mirrors trace.Span structurally: a named type called Span with
+// End*-prefixed methods.
+type Span struct{ open bool }
+
+func (s Span) End()                        {}
+func (s Span) EndCounts(records, bs int64) {}
+func (s Span) Note(msg string)             {}
+
+// Tracer mirrors trace.Tracer's Start entry points.
+type Tracer struct{}
+
+func (t *Tracer) Start(kind int) Span      { return Span{open: true} }
+func (t *Tracer) StartSpan(kind int) Span  { return Span{open: true} }
+func (t *Tracer) startLower(kind int) Span { return Span{open: true} }
+
+// Other returns a Span but is not Start-named: out of scope.
+func (t *Tracer) Other() Span { return Span{} }
+
+func leak(tr *Tracer) {
+	s := tr.Start(1) // want `span s is started but never ended or handed off`
+	s.Note("working")
+}
+
+func leakWrapper(tr *Tracer) {
+	s := tr.startLower(2) // want `span s is started but never ended or handed off`
+	_ = s.open
+}
+
+func endedDirectly(tr *Tracer) {
+	s := tr.Start(1)
+	s.End() // ok
+}
+
+func endedWithCounts(tr *Tracer) {
+	s := tr.StartSpan(1)
+	s.EndCounts(10, 20) // ok
+}
+
+func endedDeferred(tr *Tracer) {
+	s := tr.Start(1)
+	defer s.End() // ok
+}
+
+func endedInClosure(tr *Tracer) {
+	s := tr.Start(1)
+	end := func() { s.EndCounts(1, 2) } // ok: ended inside the closure
+	defer end()
+}
+
+func handedOffReturn(tr *Tracer) Span {
+	s := tr.Start(1)
+	return s // ok: caller owns the end
+}
+
+func handedOffArg(tr *Tracer) {
+	s := tr.Start(1)
+	finish(s) // ok: callee owns the end
+}
+
+func finish(s Span) { s.End() }
+
+type holder struct{ s Span }
+
+func handedOffStruct(tr *Tracer) holder {
+	s := tr.Start(1)
+	return holder{s: s} // ok: escapes via composite literal
+}
+
+func handedOffAssign(tr *Tracer, dst *holder) {
+	s := tr.Start(1)
+	dst.s = s // ok: escapes via assignment
+}
+
+func notStartNamed(tr *Tracer) {
+	s := tr.Other() // ok: not a Start* call, out of scope
+	_ = s
+}
+
+func blankIsIgnored(tr *Tracer) {
+	_ = tr.Start(1) // ok: blank identifier is never tracked
+}

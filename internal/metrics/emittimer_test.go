@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// emitN drives the timer through n emit cycles, spending no measurable
+// time between calls.
+func emitN(e *EmitTimer, n int) {
+	for i := 0; i < n; i++ {
+		e.BeforeEmit()
+		e.AfterEmit()
+	}
+}
+
+func TestEmitTimerPeriodOneIsPrecise(t *testing.T) {
+	tm := NewTaskMetrics()
+	e := NewEmitTimer(tm, 0, 1)
+	emitN(e, 10)
+	e.Finish()
+	if e.Records() != 10 {
+		t.Errorf("records = %d", e.Records())
+	}
+	// Precise mode reads the clock twice per record (plus Finish).
+	if got := e.ClockReads(); got != 2*10+1 {
+		t.Errorf("clock reads = %d, want 21", got)
+	}
+}
+
+func TestEmitTimerWarmupBoundary(t *testing.T) {
+	// warmup=4, period=8: records 0..3 are precise (2 reads each), record
+	// 4 is the first sample point (1 read), record 5 measures the
+	// post-sample user gap (1 read) plus its own non-timed emit, records
+	// 6..11 are clock-free, record 12 samples again.
+	tm := NewTaskMetrics()
+	e := NewEmitTimer(tm, 4, 8)
+
+	emitN(e, 4)
+	warmupReads := e.ClockReads()
+	if warmupReads != 8 {
+		t.Errorf("warmup clock reads = %d, want 8", warmupReads)
+	}
+
+	emitN(e, 1) // record 4: sample point, open+close = 2 reads
+	if got := e.ClockReads() - warmupReads; got != 2 {
+		t.Errorf("sample-point reads = %d, want 2", got)
+	}
+
+	emitN(e, 1) // record 5: post-sample user gap, 1 read
+	afterPost := e.ClockReads()
+	if got := afterPost - warmupReads; got != 3 {
+		t.Errorf("post-sample reads = %d, want 3", got)
+	}
+
+	emitN(e, 6) // records 6..11: free
+	if got := e.ClockReads(); got != afterPost {
+		t.Errorf("mid-period emits read the clock: %d -> %d", afterPost, got)
+	}
+
+	emitN(e, 1) // record 12 = warmup + 8: next sample point
+	if got := e.ClockReads() - afterPost; got != 2 {
+		t.Errorf("second sample reads = %d, want 2", got)
+	}
+}
+
+func TestEmitTimerZeroRecords(t *testing.T) {
+	// A task that emits nothing must still attribute its wall time to
+	// user map() via Finish, with exactly the construction + Finish
+	// clock reads and no emit time.
+	tm := NewTaskMetrics()
+	e := NewEmitTimer(tm, DefaultEmitWarmup, DefaultEmitPeriod)
+	time.Sleep(2 * time.Millisecond)
+	e.Finish()
+	if e.Records() != 0 {
+		t.Errorf("records = %d", e.Records())
+	}
+	if tm.Op(OpMapUser) < time.Millisecond {
+		t.Errorf("trailing user gap not attributed: %v", tm.Op(OpMapUser))
+	}
+	if tm.Op(OpEmit) != 0 {
+		t.Errorf("emit time from zero emits: %v", tm.Op(OpEmit))
+	}
+}
+
+func TestEmitTimerSampleWeight(t *testing.T) {
+	// After warmup, one sampled emit stands in for every unmeasured emit
+	// since the previous sample: with warmup=0 and period=4, the sample
+	// at record 4 carries weight 4 (records 1,2,3,4). Sleeping only
+	// inside the sampled emit makes the weighted attribution visible.
+	tm := NewTaskMetrics()
+	e := NewEmitTimer(tm, 0, 4)
+
+	emitN(e, 4) // record 0 precise, records 1..3 free
+	base := tm.Op(OpEmit)
+
+	e.BeforeEmit() // record 4: sample point
+	time.Sleep(2 * time.Millisecond)
+	e.AfterEmit()
+
+	weighted := tm.Op(OpEmit) - base
+	if weighted < 4*2*time.Millisecond {
+		t.Errorf("sampled emit weight too small: %v, want >= 8ms", weighted)
+	}
+}
+
+func TestEmitTimerExclude(t *testing.T) {
+	// Time excluded from an open sample (buffer blocking, profiling) must
+	// not count as emit work.
+	tm := NewTaskMetrics()
+	e := NewEmitTimer(tm, 4, 1)
+	e.BeforeEmit()
+	time.Sleep(2 * time.Millisecond)
+	e.Exclude(2 * time.Millisecond)
+	e.AfterEmit()
+	if got := tm.Op(OpEmit); got > time.Millisecond {
+		t.Errorf("excluded time leaked into emit: %v", got)
+	}
+}
+
+func TestEmitTimerDefensiveConstruction(t *testing.T) {
+	tm := NewTaskMetrics()
+	e := NewEmitTimer(tm, -3, 0) // clamps to warmup 0, period 1
+	emitN(e, 3)
+	e.Finish()
+	if e.Records() != 3 {
+		t.Errorf("records = %d", e.Records())
+	}
+	if e.ClockReads() != 2*3+1 {
+		t.Errorf("clock reads = %d, want 7 (period clamped to precise)", e.ClockReads())
+	}
+}
+
+func TestEmitTimerRestart(t *testing.T) {
+	// Restart discards setup time: the gap before Restart must not be
+	// attributed to user map().
+	tm := NewTaskMetrics()
+	e := NewEmitTimer(tm, 16, 64)
+	time.Sleep(3 * time.Millisecond)
+	e.Restart()
+	e.Finish()
+	if got := tm.Op(OpMapUser); got > 2*time.Millisecond {
+		t.Errorf("setup time leaked past Restart: %v", got)
+	}
+}

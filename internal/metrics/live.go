@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Live aggregation mirrors every TaskMetrics update into one process-wide
+// Snapshot so a debug endpoint (expvar under -pprof) can show job progress
+// while tasks are still running. It is off by default: the hot-path cost
+// is a single atomic load per recording call until EnableLive is called.
+var (
+	liveEnabled atomic.Bool
+	liveMu      sync.Mutex
+	liveAgg     Snapshot
+)
+
+// EnableLive turns on process-wide live aggregation. Updates recorded
+// before enabling are not retroactively included.
+func EnableLive() {
+	liveMu.Lock()
+	if liveAgg.Counters == nil {
+		liveAgg.Counters = make(map[string]int64)
+	}
+	liveMu.Unlock()
+	liveEnabled.Store(true)
+}
+
+// DisableLive turns live aggregation off and clears the accumulated
+// state. Intended for tests.
+func DisableLive() {
+	liveEnabled.Store(false)
+	liveMu.Lock()
+	liveAgg = Snapshot{}
+	liveMu.Unlock()
+}
+
+// LiveSnapshot returns a copy of the live aggregate. It is zero-valued
+// when live aggregation was never enabled.
+func LiveSnapshot() Snapshot {
+	liveMu.Lock()
+	defer liveMu.Unlock()
+	s := liveAgg
+	s.Counters = make(map[string]int64, len(liveAgg.Counters))
+	for k, v := range liveAgg.Counters {
+		s.Counters[k] = v
+	}
+	return s
+}
+
+// LiveVars renders the live aggregate as a JSON-friendly value for
+// expvar.Publish: operation times and waits in nanoseconds keyed by their
+// report names, plus the raw counters.
+func LiveVars() any {
+	s := LiveSnapshot()
+	ops := make(map[string]int64, NumOps)
+	for op := Op(0); op < NumOps; op++ {
+		if s.Ops[op] != 0 {
+			ops[op.String()] = int64(s.Ops[op])
+		}
+	}
+	return map[string]any{
+		"ops_ns":          ops,
+		"wait_map_ns":     int64(s.WaitMap),
+		"wait_support_ns": int64(s.WaitSupport),
+		"counters":        s.Counters,
+	}
+}
+
+func liveAddOp(op Op, d time.Duration) {
+	liveMu.Lock()
+	liveAgg.Ops[op] += d
+	liveMu.Unlock()
+}
+
+func liveAddWait(mapSide bool, d time.Duration) {
+	liveMu.Lock()
+	if mapSide {
+		liveAgg.WaitMap += d
+	} else {
+		liveAgg.WaitSupport += d
+	}
+	liveMu.Unlock()
+}
+
+func liveInc(name string, delta int64) {
+	liveMu.Lock()
+	liveAgg.Counters[name] += delta
+	liveMu.Unlock()
+}

@@ -122,7 +122,9 @@ const (
 	CtrFreqProfiled      = "freqbuf.profiled"  // records seen during profiling
 	CtrCombineInRecords  = "combine.input.records"
 	CtrCombineOutRecords = "combine.output.records"
-	CtrCleanupErrors     = "cleanup.errors" // best-effort cleanup failures (spill/output removal)
+	CtrCleanupErrors     = "cleanup.errors"     // best-effort cleanup failures (spill/output removal)
+	CtrLocalMapTasks     = "sched.local.tasks"  // map tasks placed on their split's primary host
+	CtrStolenMapTasks    = "sched.stolen.tasks" // map tasks work-stolen onto another node
 )
 
 // TaskMetrics accumulates instrumentation for a single task attempt. It is
@@ -149,6 +151,9 @@ func (t *TaskMetrics) Add(op Op, d time.Duration) {
 	t.mu.Lock()
 	t.ops[op] += d
 	t.mu.Unlock()
+	if liveEnabled.Load() {
+		liveAddOp(op, d)
+	}
 }
 
 // Time runs f and attributes its wall time to op.
@@ -167,6 +172,9 @@ func (t *TaskMetrics) AddWaitMap(d time.Duration) {
 	t.mu.Lock()
 	t.waitMap += d
 	t.mu.Unlock()
+	if liveEnabled.Load() {
+		liveAddWait(true, d)
+	}
 }
 
 // AddWaitSupport records time the support goroutine spent blocked waiting
@@ -178,6 +186,9 @@ func (t *TaskMetrics) AddWaitSupport(d time.Duration) {
 	t.mu.Lock()
 	t.waitSup += d
 	t.mu.Unlock()
+	if liveEnabled.Load() {
+		liveAddWait(false, d)
+	}
 }
 
 // Inc adds delta to the named counter.
@@ -185,6 +196,9 @@ func (t *TaskMetrics) Inc(name string, delta int64) {
 	t.mu.Lock()
 	t.counters[name] += delta
 	t.mu.Unlock()
+	if liveEnabled.Load() {
+		liveInc(name, delta)
+	}
 }
 
 // Op returns the accumulated duration for op.

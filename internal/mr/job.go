@@ -22,6 +22,7 @@ import (
 	"mrtext/internal/kvio"
 	"mrtext/internal/metrics"
 	"mrtext/internal/spillbuf"
+	"mrtext/internal/trace"
 )
 
 // Collector receives key/value pairs emitted by user code. The runtime's
@@ -170,6 +171,11 @@ type Job struct {
 	// procedures" extension. Requires Combine; ignored without one.
 	HashGroupSpills bool
 
+	// Trace records the job's span timeline (see internal/trace). Nil
+	// falls back to the process-wide trace.Default(); when that is nil
+	// too, tracing is off and every span site reduces to a nil check.
+	Trace *trace.Tracer
+
 	// filePrefix uniquifies intermediate file names so the same job spec
 	// can run repeatedly on one cluster. Set by withDefaults.
 	filePrefix string
@@ -233,14 +239,26 @@ func (j *Job) newController() spillmatch.Controller {
 
 // TaskReport carries one task's instrumentation into the job result.
 type TaskReport struct {
-	Kind      string // "map" or "reduce"
-	Index     int
-	Node      int
-	Wall      time.Duration
-	Metrics   metrics.Snapshot
-	Spill     spillbuf.Stats
-	FreqStats freqbuf.Stats
-	SpillPcts []float64 // spill-matcher decision trace (adaptive runs)
+	Kind  string // "map" or "reduce"
+	Index int
+	Node  int
+	// Wall is the task's execution wall time, queue wait excluded: the
+	// span between the task starting on its slot and its report being
+	// finalized, on success and failure alike.
+	Wall time.Duration
+	// QueueWait is time the task spent waiting for a free slot before
+	// starting (reduce tasks contend for per-node reduce slots). Wall +
+	// QueueWait spans from task submission to completion, so per-task
+	// reports tile the phase wall time they belong to.
+	QueueWait time.Duration
+	// ShuffleBytes is the reduce task's fetched shuffle volume (the
+	// CtrShuffleBytes counter surfaced for swimlane labeling); zero for
+	// map tasks.
+	ShuffleBytes int64
+	Metrics      metrics.Snapshot
+	Spill        spillbuf.Stats
+	FreqStats    freqbuf.Stats
+	SpillPcts    []float64 // spill-matcher decision trace (adaptive runs)
 }
 
 // Result summarizes a completed job.
@@ -254,6 +272,12 @@ type Result struct {
 	Outputs     []string
 	MapTasks    int
 	ReduceTasks int
+	// LocalMapTasks counts map tasks that ran on the node holding their
+	// split's primary replica; StolenMapTasks counts tasks the scheduler
+	// moved to another node's free slot (work stealing). Tasks whose
+	// primary host is out of range (orphans) count toward neither.
+	LocalMapTasks  int
+	StolenMapTasks int
 }
 
 // MapIdleFraction returns the average fraction of map-task wall time the

@@ -9,8 +9,23 @@ import (
 	"mrtext/internal/kvio"
 	"mrtext/internal/metrics"
 	"mrtext/internal/spillbuf"
+	"mrtext/internal/trace"
 	"mrtext/internal/vdisk"
 )
+
+// spanner locates one task's spans in the trace: the tracer (nil when
+// tracing is off) plus the task's fixed (node, task, slot) coordinates.
+type spanner struct {
+	tr   *trace.Tracer
+	node int
+	task int
+	slot int
+}
+
+// start opens a span for this task on the given lane.
+func (sc spanner) start(kind trace.Kind, lane trace.Lane) trace.Span {
+	return sc.tr.Start(kind, lane, sc.node, sc.task, sc.slot)
+}
 
 // mapOutput locates one finished map task's partitioned output run.
 type mapOutput struct {
@@ -37,6 +52,7 @@ type mapCollector struct {
 	emitted    int64
 	combineAcc time.Duration // combine time spent inside freqbuf (via the timed combiner)
 	published  bool
+	sp         spanner // freq-buffer eviction instants
 }
 
 // Collect implements Collector.
@@ -73,6 +89,9 @@ func (mc *mapCollector) emit(key, value []byte) error {
 			mc.cache.Put(mc.job.Name, mc.freq.TopK())
 			mc.published = true
 		}
+		if len(overflow) > 0 {
+			mc.sp.tr.Instant(trace.KindFreqEviction, trace.LaneMap, mc.sp.node, mc.sp.task, int64(len(overflow)))
+		}
 		for _, r := range overflow {
 			mc.tm.Inc(metrics.CtrFreqEvictions, 1)
 			if err := mc.append(r.Part, r.Key, r.Value); err != nil {
@@ -106,12 +125,14 @@ func (mc *mapCollector) finish() {
 // or, under the HashGroupSpills extension, a hash-based one: raw records
 // are grouped and combined in a hash table and only the (far fewer)
 // aggregates are sorted.
-func writeSpillRun(disk vdisk.Disk, name string, parts int, recs kvio.PackedRecords, job *Job, combine CombineFunc, tm *metrics.TaskMetrics) (kvio.RunIndex, error) {
+func writeSpillRun(disk vdisk.Disk, name string, parts int, recs kvio.PackedRecords, job *Job, combine CombineFunc, tm *metrics.TaskMetrics, sp spanner) (kvio.RunIndex, error) {
 	if job.HashGroupSpills && combine != nil {
-		return writeSpillRunHashed(disk, name, parts, recs, job, combine, tm)
+		return writeSpillRunHashed(disk, name, parts, recs, job, combine, tm, sp)
 	}
 	t0 := time.Now()
+	sortSpan := sp.start(trace.KindSort, trace.LaneSupport)
 	kvio.SortPacked(recs)
+	sortSpan.EndCounts(int64(recs.Len()), recs.ArenaBytes())
 	tm.Add(metrics.OpSort, time.Since(t0))
 	debugAssertSortedPacked(recs, name)
 
@@ -158,6 +179,9 @@ func writeSpillRun(disk vdisk.Disk, name string, parts int, recs kvio.PackedReco
 	if err != nil {
 		return kvio.RunIndex{}, err
 	}
+	// Combine runs interleaved with the spill write; its span is the
+	// accumulated user-combine duration anchored at the write start.
+	sp.tr.Complete(trace.KindCombine, trace.LaneSupport, sp.node, sp.task, sp.slot, t1, combineDur)
 	tm.Add(metrics.OpCombineUser, combineDur)
 	tm.Add(metrics.OpSpillIO, time.Since(t1)-combineDur)
 	tm.Inc(metrics.CtrSpillRecords, idx.TotalRecords())
@@ -174,12 +198,13 @@ func writeSpillRun(disk vdisk.Disk, name string, parts int, recs kvio.PackedReco
 // write them out. For skewed text keys the aggregates are a small fraction
 // of the raw records, so the sort shrinks dramatically. Hash grouping
 // replaces the sort-based grouping, so its time is attributed to OpSort.
-func writeSpillRunHashed(disk vdisk.Disk, name string, parts int, recs kvio.PackedRecords, job *Job, combine CombineFunc, tm *metrics.TaskMetrics) (kvio.RunIndex, error) {
+func writeSpillRunHashed(disk vdisk.Disk, name string, parts int, recs kvio.PackedRecords, job *Job, combine CombineFunc, tm *metrics.TaskMetrics, sp spanner) (kvio.RunIndex, error) {
 	type group struct {
 		part int
 		key  []byte
 		vals [][]byte
 	}
+	groupSpan := sp.start(trace.KindSort, trace.LaneSupport)
 	t0 := time.Now()
 	n := recs.Len()
 	groups := make(map[string]*group, n/4+16)
@@ -216,8 +241,10 @@ func writeSpillRunHashed(disk vdisk.Disk, name string, parts int, recs kvio.Pack
 		}
 	}
 	kvio.SortRecords(combined) // only the aggregates: the whole point
+	groupSpan.EndCounts(int64(len(combined)), 0)
 	tm.Add(metrics.OpSort, time.Since(t1)-combineDur)
 	debugAssertSorted(combined, name)
+	sp.tr.Complete(trace.KindCombine, trace.LaneSupport, sp.node, sp.task, sp.slot, t1, combineDur)
 	tm.Add(metrics.OpCombineUser, combineDur)
 
 	w0 := time.Now()
@@ -247,14 +274,20 @@ func writeSpillRunHashed(disk vdisk.Disk, name string, parts int, recs kvio.Pack
 // reads the split and applies map(); the support goroutine sorts, combines
 // and spills; the task ends with the merge of all spill runs (plus the
 // drained frequency-buffer aggregates) into one partitioned output run.
-func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node int) (mapOutput, TaskReport, error) {
+func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node, slot int) (mapOutput, TaskReport, error) {
 	start := time.Now()
 	tm := metrics.NewTaskMetrics()
 	disk := c.Disks[node]
 	report := TaskReport{Kind: "map", Index: taskIdx, Node: node}
+	sp := spanner{tr: job.Trace, node: node, task: taskIdx, slot: slot}
+	taskSpan := sp.start(trace.KindMapTask, trace.LaneMap)
+	endTaskSpan := func() {
+		taskSpan.EndCounts(tm.Counter(metrics.CtrMapOutputRecords), tm.Counter(metrics.CtrMapOutputBytes))
+	}
 	fail := func(err error) (mapOutput, TaskReport, error) {
 		report.Wall = time.Since(start)
 		report.Metrics = tm.Snapshot()
+		endTaskSpan()
 		return mapOutput{}, report, fmt.Errorf("mr: map task %d (node %d): %w", taskIdx, node, err)
 	}
 
@@ -267,6 +300,7 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node int
 		job: job,
 		tm:  tm,
 		et:  metrics.NewEmitTimer(tm, metrics.DefaultEmitWarmup, metrics.DefaultEmitPeriod),
+		sp:  sp,
 	}
 
 	ctrl := job.newController()
@@ -323,6 +357,7 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node int
 	if err != nil {
 		return fail(err)
 	}
+	buf.AttachTrace(job.Trace, node, taskIdx, slot)
 	mc.buf = buf
 
 	// Support goroutine: consume spills.
@@ -337,16 +372,20 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node int
 				return
 			}
 			debugAssert(spill.Seq == spillSeq, "spill sequence mismatch: buffer handed seq %d, support expected %d", spill.Seq, spillSeq)
+			spillSpan := sp.start(trace.KindSpill, trace.LaneSupport)
+			spillRecords := int64(spill.Recs.Len())
 			consumeStart := time.Now()
 			name := fmt.Sprintf("%s/m%05d/spill%04d", job.filePrefix, taskIdx, spillSeq)
 			spillSeq++
-			idx, err := writeSpillRun(disk, name, job.NumReducers, spill.Recs, job, job.Combine, tm)
+			idx, err := writeSpillRun(disk, name, job.NumReducers, spill.Recs, job, job.Combine, tm, sp)
 			if err != nil {
+				spillSpan.EndCounts(spillRecords, spill.Bytes)
 				buf.Release(spill, time.Since(consumeStart))
 				supportErr <- err
 				return
 			}
 			runs = append(runs, idx)
+			spillSpan.EndCounts(spillRecords, spill.Bytes)
 			buf.Release(spill, time.Since(consumeStart))
 		}
 	}()
@@ -426,6 +465,7 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node int
 	if err != nil {
 		return fail(err)
 	}
+	mergeSpan := sp.start(trace.KindMerge, trace.LaneMap)
 	for p := 0; p < job.NumReducers; p++ {
 		t0 := time.Now()
 		before := mergeCombineAcc
@@ -449,8 +489,10 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node int
 	}
 	outIdx, err := out.Close()
 	if err != nil {
+		mergeSpan.End()
 		return fail(err)
 	}
+	mergeSpan.EndCounts(outIdx.TotalRecords(), outIdx.TotalBytes())
 	tm.Inc(metrics.CtrMergeBytes, outIdx.TotalBytes())
 
 	// Spill files are no longer needed. Removal is best-effort cleanup:
@@ -464,6 +506,7 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node int
 	report.Wall = time.Since(start)
 	report.Spill = buf.Stats()
 	report.Metrics = tm.Snapshot()
+	endTaskSpan()
 	return mapOutput{node: node, index: outIdx}, report, nil
 }
 

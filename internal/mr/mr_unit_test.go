@@ -150,33 +150,38 @@ func TestSchedulerLocalityAndStealing(t *testing.T) {
 	}
 	s := newScheduler(2, splits)
 	// Node 1 takes its local task first.
-	task, ok := s.take(1)
-	if !ok || task != 3 {
-		t.Errorf("node 1 first take: %d %v", task, ok)
+	task, src, ok := s.take(1)
+	if !ok || task != 3 || src != takeLocal {
+		t.Errorf("node 1 first take: %d %v %v", task, src, ok)
 	}
 	// Then the orphan.
-	task, ok = s.take(1)
-	if !ok || task != 4 {
-		t.Errorf("node 1 orphan take: %d %v", task, ok)
+	task, src, ok = s.take(1)
+	if !ok || task != 4 || src != takeOrphan {
+		t.Errorf("node 1 orphan take: %d %v %v", task, src, ok)
 	}
 	// Then steals from node 0's tail.
-	task, ok = s.take(1)
-	if !ok || task != 2 {
-		t.Errorf("node 1 steal: %d %v", task, ok)
+	task, src, ok = s.take(1)
+	if !ok || task != 2 || src != takeStolen {
+		t.Errorf("node 1 steal: %d %v %v", task, src, ok)
 	}
 	// Node 0 keeps its head.
-	task, ok = s.take(0)
-	if !ok || task != 0 {
-		t.Errorf("node 0 take: %d %v", task, ok)
+	task, src, ok = s.take(0)
+	if !ok || task != 0 || src != takeLocal {
+		t.Errorf("node 0 take: %d %v %v", task, src, ok)
 	}
 	s.take(0)
-	if _, ok := s.take(0); ok {
+	if _, _, ok := s.take(0); ok {
 		t.Error("take from drained scheduler succeeded")
+	}
+	// Placement counters: 3 local (tasks 3, 0, 1), 1 stolen (task 2);
+	// the orphan counts toward neither.
+	if local, stolen := s.placement(); local != 3 || stolen != 1 {
+		t.Errorf("placement: local=%d stolen=%d, want 3/1", local, stolen)
 	}
 	// Abort stops handing out work.
 	s2 := newScheduler(1, splits[:1])
 	s2.abort()
-	if _, ok := s2.take(0); ok {
+	if _, _, ok := s2.take(0); ok {
 		t.Error("take after abort succeeded")
 	}
 }

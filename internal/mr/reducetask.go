@@ -10,6 +10,7 @@ import (
 	"mrtext/internal/kvio"
 	"mrtext/internal/metrics"
 	"mrtext/internal/serde"
+	"mrtext/internal/trace"
 )
 
 // chargedStream wraps a Stream whose records flow from a remote map node:
@@ -115,18 +116,23 @@ func ReduceOutputName(prefix string, r int) string {
 // runReduceTask executes one reduce task: fetch this partition of every map
 // output (local reads for co-located outputs, fabric transfers otherwise),
 // merge-sort, group, apply reduce(), and write the final output to the DFS.
-func runReduceTask(c *cluster.Cluster, job *Job, part, node int, mapOuts []mapOutput) (string, TaskReport, error) {
+func runReduceTask(c *cluster.Cluster, job *Job, part, node, slot int, mapOuts []mapOutput) (string, TaskReport, error) {
 	start := time.Now()
 	tm := metrics.NewTaskMetrics()
 	report := TaskReport{Kind: "reduce", Index: part, Node: node}
+	sp := spanner{tr: job.Trace, node: node, task: part, slot: slot}
+	taskSpan := sp.start(trace.KindReduceTask, trace.LaneReduce)
 	fail := func(err error) (string, TaskReport, error) {
 		report.Wall = time.Since(start)
+		report.ShuffleBytes = tm.Counter(metrics.CtrShuffleBytes)
 		report.Metrics = tm.Snapshot()
+		taskSpan.EndCounts(tm.Counter(metrics.CtrOutputRecords), tm.Counter(metrics.CtrOutputBytes))
 		return "", report, fmt.Errorf("mr: reduce task %d (node %d): %w", part, node, err)
 	}
 
 	// Shuffle: open this partition's segment of every map output.
 	shuffleStart := time.Now()
+	fetchSpan := sp.start(trace.KindShuffleFetch, trace.LaneReduce)
 	streams := make([]kvio.Stream, 0, len(mapOuts))
 	for _, mo := range mapOuts {
 		s, err := kvio.OpenRunPart(c.Disks[mo.node], mo.index, part)
@@ -135,15 +141,18 @@ func runReduceTask(c *cluster.Cluster, job *Job, part, node int, mapOuts []mapOu
 			for _, os := range streams {
 				errs = append(errs, os.Close())
 			}
+			fetchSpan.End()
 			return fail(errors.Join(errs...))
 		}
 		streams = append(streams, &chargedStream{inner: s, c: c, src: mo.node, dst: node, tm: tm})
 	}
 	merger, err := kvio.NewMerger(streams)
 	if err != nil {
+		fetchSpan.End()
 		return fail(err)
 	}
 	defer merger.Close()
+	fetchSpan.EndCounts(int64(len(streams)), 0)
 	tm.Add(metrics.OpShuffle, time.Since(shuffleStart))
 
 	outName := ReduceOutputName(job.OutputPrefix, part)
@@ -192,6 +201,8 @@ func runReduceTask(c *cluster.Cluster, job *Job, part, node int, mapOuts []mapOu
 	tm.Add(metrics.OpOutputIO, time.Since(t0))
 
 	report.Wall = time.Since(start)
+	report.ShuffleBytes = tm.Counter(metrics.CtrShuffleBytes)
 	report.Metrics = tm.Snapshot()
+	taskSpan.EndCounts(tm.Counter(metrics.CtrOutputRecords), tm.Counter(metrics.CtrOutputBytes))
 	return outName, report, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"mrtext/internal/cluster"
 	"mrtext/internal/metrics"
+	"mrtext/internal/trace"
 )
 
 // Run executes a job on the cluster and blocks until completion. Map tasks
@@ -23,9 +24,15 @@ func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if job.Trace == nil {
+		job.Trace = trace.Default()
+	}
+	tr := job.Trace
 
 	start := time.Now()
 	res := &Result{Job: job.Name, MapTasks: len(splits), ReduceTasks: job.NumReducers}
+	jobSpan := tr.Start(trace.KindJob, trace.LaneScheduler, -1, -1, 0)
+	defer jobSpan.End()
 
 	// ----- Map phase -----
 	sched := newScheduler(c.Nodes(), splits)
@@ -45,14 +52,17 @@ func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 	for node := 0; node < c.Nodes(); node++ {
 		for slot := 0; slot < c.MapSlots(); slot++ {
 			wg.Add(1)
-			go func(node int) {
+			go func(node, slot int) {
 				defer wg.Done()
 				for {
-					taskIdx, ok := sched.take(node)
+					taskIdx, src, ok := sched.take(node)
 					if !ok {
 						return
 					}
-					out, rep, err := runMapTask(c, job, taskIdx, splits[taskIdx], node)
+					if src == takeStolen {
+						tr.Instant(trace.KindWorkSteal, trace.LaneScheduler, node, taskIdx, int64(splits[taskIdx].Hosts[0]))
+					}
+					out, rep, err := runMapTask(c, job, taskIdx, splits[taskIdx], node, slot)
 					mapOuts[taskIdx] = out
 					mapReports[taskIdx] = rep
 					if err != nil {
@@ -60,7 +70,7 @@ func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 						return
 					}
 				}
-			}(node)
+			}(node, slot)
 		}
 	}
 	wg.Wait()
@@ -80,18 +90,24 @@ func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 	var rwg sync.WaitGroup
 	for r := 0; r < job.NumReducers; r++ {
 		node := r % c.Nodes()
+		// The r-th task for a node occupies that node's (r / nodes)-th
+		// reduce slot admission, which names its trace swimlane.
+		slot := (r / c.Nodes()) % c.ReduceSlots()
 		rwg.Add(1)
-		go func(r, node int) {
+		go func(r, node, slot int) {
 			defer rwg.Done()
+			enqueued := time.Now()
 			slots[node] <- struct{}{}
+			queueWait := time.Since(enqueued)
 			defer func() { <-slots[node] }()
-			out, rep, err := runReduceTask(c, job, r, node, mapOuts)
+			out, rep, err := runReduceTask(c, job, r, node, slot, mapOuts)
+			rep.QueueWait = queueWait
 			outputs[r] = out
 			reduceReports[r] = rep
 			if err != nil {
 				setErr(err)
 			}
-		}(r, node)
+		}(r, node, slot)
 	}
 	rwg.Wait()
 	if firstErr != nil {
@@ -114,14 +130,28 @@ func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 	for _, t := range res.Tasks {
 		res.Agg.Merge(t.Metrics)
 	}
+	if res.Agg.Counters == nil {
+		res.Agg.Counters = make(map[string]int64)
+	}
 	if cleanupErrs > 0 {
-		if res.Agg.Counters == nil {
-			res.Agg.Counters = make(map[string]int64)
-		}
 		res.Agg.Counters[metrics.CtrCleanupErrors] += cleanupErrs
 	}
+	res.LocalMapTasks, res.StolenMapTasks = sched.placement()
+	res.Agg.Counters[metrics.CtrLocalMapTasks] += int64(res.LocalMapTasks)
+	res.Agg.Counters[metrics.CtrStolenMapTasks] += int64(res.StolenMapTasks)
 	return res, nil
 }
+
+// takeSource classifies where a handed-out map task came from: its own
+// node's local queue, the homeless orphan pool, or another node's queue
+// (a work steal).
+type takeSource int
+
+const (
+	takeLocal takeSource = iota
+	takeOrphan
+	takeStolen
+)
 
 // scheduler hands out map tasks with locality preference and work stealing.
 type scheduler struct {
@@ -129,6 +159,8 @@ type scheduler struct {
 	queues  [][]int // per-node pending task indexes
 	orphans []int   // tasks whose primary host is out of range
 	aborted bool
+	local   int // tasks taken from their own node's queue
+	stolen  int // tasks stolen from another node's queue
 }
 
 func newScheduler(nodes int, splits []Split) *scheduler {
@@ -148,22 +180,24 @@ func newScheduler(nodes int, splits []Split) *scheduler {
 }
 
 // take pops a task for the given node: local first, then the orphan pool,
-// then stealing from the longest queue.
-func (s *scheduler) take(node int) (int, bool) {
+// then stealing from the longest queue. It reports where the task came
+// from so placement quality (data-local vs stolen) is observable.
+func (s *scheduler) take(node int) (int, takeSource, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.aborted {
-		return 0, false
+		return 0, takeLocal, false
 	}
 	if q := s.queues[node]; len(q) > 0 {
 		task := q[0]
 		s.queues[node] = q[1:]
-		return task, true
+		s.local++
+		return task, takeLocal, true
 	}
 	if len(s.orphans) > 0 {
 		task := s.orphans[0]
 		s.orphans = s.orphans[1:]
-		return task, true
+		return task, takeOrphan, true
 	}
 	// Steal from the longest queue.
 	victim, max := -1, 0
@@ -173,12 +207,20 @@ func (s *scheduler) take(node int) (int, bool) {
 		}
 	}
 	if victim < 0 {
-		return 0, false
+		return 0, takeLocal, false
 	}
 	q := s.queues[victim]
 	task := q[len(q)-1] // steal from the tail: the head stays local
 	s.queues[victim] = q[:len(q)-1]
-	return task, true
+	s.stolen++
+	return task, takeStolen, true
+}
+
+// placement returns how many handed-out tasks were data-local vs stolen.
+func (s *scheduler) placement() (local, stolen int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.local, s.stolen
 }
 
 func (s *scheduler) abort() {

@@ -1,0 +1,132 @@
+package mr_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"mrtext/internal/apps"
+	"mrtext/internal/mr"
+	"mrtext/internal/trace"
+)
+
+// TestTraceCrossChecksMetrics runs a traced wordcount with a small spill
+// buffer (forcing many spills and real producer/consumer blocking) and
+// asserts the trace is a faithful second account of the run: span counts
+// match the job shape, map and support lanes genuinely overlap, and the
+// Table II idle fractions derived from wait spans agree with the
+// metrics-based Result accounting within 5%.
+func TestTraceCrossChecksMetrics(t *testing.T) {
+	c, corpus := newTextCluster(t, 3, 1<<20)
+
+	tr := trace.New(1 << 16)
+	job := apps.WordCount(corpus)
+	job.SpillBufferBytes = 64 << 10
+	job.Trace = tr
+
+	res, err := mr.Run(c, job)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if d := tr.Dropped(); d != 0 {
+		t.Fatalf("tracer dropped %d events; ring too small for the test job", d)
+	}
+
+	events := tr.Events()
+	spans := make(map[trace.Kind]int)
+	for _, ev := range events {
+		if !ev.Kind.Instant() {
+			spans[ev.Kind]++
+		}
+	}
+	if spans[trace.KindJob] != 1 {
+		t.Errorf("job spans: got %d, want 1", spans[trace.KindJob])
+	}
+	if spans[trace.KindMapTask] != res.MapTasks {
+		t.Errorf("map-task spans: got %d, want %d", spans[trace.KindMapTask], res.MapTasks)
+	}
+	if spans[trace.KindReduceTask] != res.ReduceTasks {
+		t.Errorf("reduce-task spans: got %d, want %d", spans[trace.KindReduceTask], res.ReduceTasks)
+	}
+	if spans[trace.KindShuffleFetch] != res.ReduceTasks {
+		t.Errorf("shuffle-fetch spans: got %d, want %d", spans[trace.KindShuffleFetch], res.ReduceTasks)
+	}
+	if spans[trace.KindSpill] == 0 || spans[trace.KindSort] == 0 {
+		t.Errorf("expected spill and sort spans, got %d and %d", spans[trace.KindSpill], spans[trace.KindSort])
+	}
+	if spans[trace.KindSpill] != spans[trace.KindSort] {
+		t.Errorf("each spill sorts exactly once: %d spills vs %d sorts", spans[trace.KindSpill], spans[trace.KindSort])
+	}
+	if spans[trace.KindMerge] != res.MapTasks {
+		t.Errorf("merge spans: got %d, want %d", spans[trace.KindMerge], res.MapTasks)
+	}
+
+	// The support goroutine's spill work must overlap its own task's map
+	// span: that concurrency is the whole point of the two-lane design.
+	mapSpan := make(map[int]trace.Event)
+	for _, ev := range events {
+		if ev.Kind == trace.KindMapTask {
+			mapSpan[int(ev.Task)] = ev
+		}
+	}
+	overlaps := 0
+	for _, ev := range events {
+		if ev.Kind != trace.KindSpill {
+			continue
+		}
+		m, ok := mapSpan[int(ev.Task)]
+		if !ok {
+			t.Fatalf("spill span for task %d without a map-task span", ev.Task)
+		}
+		if ev.Lane != trace.LaneSupport {
+			t.Errorf("spill span on lane %v, want support", ev.Lane)
+		}
+		if ev.TS < m.TS+m.Dur && ev.TS+ev.Dur > m.TS {
+			overlaps++
+		}
+	}
+	if overlaps == 0 {
+		t.Error("no spill span overlaps its map-task span: support lane never ran concurrently")
+	}
+
+	// Table II cross-check: wait spans reuse the exact durations fed to
+	// the metrics accumulators, so the derived fractions agree closely.
+	idle := trace.DeriveIdle(events)
+	checkClose := func(name string, got, want float64) {
+		t.Helper()
+		tol := 0.05*math.Max(got, want) + 1e-3
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s: trace-derived %.4f vs metrics %.4f (tolerance %.4f)", name, got, want, tol)
+		}
+	}
+	checkClose("map idle fraction", idle.MapIdleFraction(), res.MapIdleFraction())
+	checkClose("support idle fraction", idle.SupportIdleFraction(), res.SupportIdleFraction())
+
+	// Placement counters cover every map task.
+	if res.LocalMapTasks+res.StolenMapTasks != res.MapTasks {
+		t.Errorf("placement: %d local + %d stolen != %d map tasks",
+			res.LocalMapTasks, res.StolenMapTasks, res.MapTasks)
+	}
+
+	// Reduce reports carry shuffle volume and queue-wait accounting.
+	for _, rep := range res.Tasks {
+		if rep.Kind != "reduce" {
+			continue
+		}
+		if rep.ShuffleBytes <= 0 {
+			t.Errorf("reduce %d: ShuffleBytes = %d, want > 0", rep.Index, rep.ShuffleBytes)
+		}
+		if rep.QueueWait < 0 {
+			t.Errorf("reduce %d: negative QueueWait %v", rep.Index, rep.QueueWait)
+		}
+	}
+
+	// The exporter round-trips through its own validator.
+	var buf bytes.Buffer
+	if err := trace.WriteJSON(&buf, events); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := trace.Validate(buf.Bytes()); err != nil {
+		t.Fatalf("exported trace fails validation: %v", err)
+	}
+}

@@ -1,0 +1,33 @@
+// Package pprofserve wires the standard net/http/pprof and expvar
+// handlers plus a live mrtext metrics snapshot onto one debug address,
+// shared by the mrrun and mrbench CLIs (-pprof flag).
+package pprofserve
+
+import (
+	"expvar"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+	"sync"
+
+	"mrtext/internal/metrics"
+)
+
+var publishOnce sync.Once
+
+// Serve enables live metrics aggregation, publishes it as the
+// "mrtext.metrics" expvar (visible at /debug/vars), and serves
+// DefaultServeMux — which carries /debug/pprof and /debug/vars — on addr
+// in a background goroutine. A listen or serve failure is reported to
+// onErr; Serve itself never blocks.
+func Serve(addr string, onErr func(error)) {
+	metrics.EnableLive()
+	publishOnce.Do(func() {
+		expvar.Publish("mrtext.metrics", expvar.Func(metrics.LiveVars))
+	})
+	//mrlint:ignore goroleak debug server lives for the whole process; it has no shutdown path by design
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			onErr(err)
+		}
+	}()
+}

@@ -44,6 +44,7 @@ import (
 	"mrtext/internal/core/spillmatch"
 	"mrtext/internal/kvio"
 	"mrtext/internal/metrics"
+	"mrtext/internal/trace"
 )
 
 // ErrClosed is returned by Append after Close.
@@ -94,6 +95,13 @@ type Buffer struct {
 	ctrl     spillmatch.Controller
 	tm       *metrics.TaskMetrics
 
+	// Trace identity: which (node, task, slot) the buffer's wait spans and
+	// spill instants are attributed to. tr nil means tracing is off.
+	tr     *trace.Tracer
+	trNode int
+	trTask int
+	trSlot int
+
 	mu   sync.Mutex
 	cond *sync.Cond
 
@@ -101,7 +109,7 @@ type Buffer struct {
 	pendingBytes int64
 	inflight     int64
 	closed       bool
-	blocked      bool // producer currently blocked on a full buffer
+	blocked      bool                 // producer currently blocked on a full buffer
 	free         []kvio.PackedRecords // released batches, recycled as pending regions
 
 	produceMark time.Time     // producer's clock: end of its last Append (or creation)
@@ -129,6 +137,16 @@ func New(capacity int64, ctrl spillmatch.Controller, tm *metrics.TaskMetrics) (*
 	return b, nil
 }
 
+// AttachTrace attributes the buffer's wait spans and spill instants to the
+// given tracer under (node, task, slot). Call before the first Append; a
+// nil tracer leaves tracing off.
+func (b *Buffer) AttachTrace(tr *trace.Tracer, node, task, slot int) {
+	b.tr = tr
+	b.trNode = node
+	b.trTask = task
+	b.trSlot = slot
+}
+
 // Capacity returns M.
 func (b *Buffer) Capacity() int64 { return b.capacity }
 
@@ -145,6 +163,7 @@ func (b *Buffer) Append(part int, key, value []byte) (time.Duration, error) {
 	now := time.Now()
 
 	var waited time.Duration
+	var firstWait time.Time
 	size := RecordBytes(key, value)
 	b.mu.Lock()
 	b.produceAcc += now.Sub(b.produceMark) // map()+emit work since last Append
@@ -152,6 +171,9 @@ func (b *Buffer) Append(part int, key, value []byte) (time.Duration, error) {
 		b.blocked = true
 		b.cond.Broadcast() // wake the consumer: buffer-full also justifies a spill
 		waitStart := time.Now()
+		if firstWait.IsZero() {
+			firstWait = waitStart
+		}
 		b.cond.Wait()
 		w := time.Since(waitStart)
 		waited += w
@@ -160,6 +182,9 @@ func (b *Buffer) Append(part int, key, value []byte) (time.Duration, error) {
 		}
 	}
 	b.blocked = false
+	// The trace span reuses the same measured durations fed to AddWaitMap,
+	// so trace-derived idle fractions agree with metrics exactly.
+	b.tr.Complete(trace.KindWaitMap, trace.LaneMap, b.trNode, b.trTask, b.trSlot, firstWait, waited)
 	if b.closed {
 		b.mu.Unlock()
 		return waited, ErrClosed
@@ -204,6 +229,7 @@ func (b *Buffer) NextSpill() (s Spill, ok bool) {
 			(float64(b.pendingBytes) >= threshold || b.closed || b.blocked)
 		if takeable {
 			b.checkPendingSum("NextSpill")
+			b.tr.Instant(trace.KindSpillHandoff, trace.LaneSupport, b.trNode, b.trTask, b.pendingBytes)
 			s = Spill{
 				Recs:    b.pending,
 				Bytes:   b.pendingBytes,
@@ -231,9 +257,11 @@ func (b *Buffer) NextSpill() (s Spill, ok bool) {
 		}
 		waitStart := time.Now()
 		b.cond.Wait()
+		w := time.Since(waitStart)
 		if b.tm != nil {
-			b.tm.AddWaitSupport(time.Since(waitStart))
+			b.tm.AddWaitSupport(w)
 		}
+		b.tr.Complete(trace.KindWaitSupport, trace.LaneSupport, b.trNode, b.trTask, b.trSlot, waitStart, w)
 	}
 }
 
@@ -254,6 +282,9 @@ func (b *Buffer) Release(s Spill, consume time.Duration) {
 	b.checkInvariants("Release")
 	b.mu.Unlock()
 	b.ctrl.Record(s.Bytes, s.Produce, consume)
+	// Arg carries the controller's post-Record spill percentage in basis
+	// points, so adaptive threshold moves are visible on the timeline.
+	b.tr.Instant(trace.KindSpillDecision, trace.LaneSupport, b.trNode, b.trTask, int64(b.ctrl.Percent()*10000))
 	b.cond.Broadcast()
 }
 

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkSpanDisabled measures the disabled-tracer cost of a span call
+// site — the price every instrumented hot path pays when no tracer is
+// attached. The acceptance bar is < 10 ns and zero allocations.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.Start(KindSpill, LaneSupport, 1, 2, 0)
+		s.EndCounts(int64(i), int64(i))
+	}
+}
+
+// BenchmarkInstantDisabled is the same bar for instant call sites.
+func BenchmarkInstantDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Instant(KindSpillHandoff, LaneSupport, 1, 2, int64(i))
+	}
+}
+
+// BenchmarkSpanEnabled measures the enabled emit path. It must not
+// allocate: events land in the pre-sized ring in place.
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := New(1 << 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := tr.Start(KindSpill, LaneSupport, 1, 2, 0)
+		s.EndCounts(int64(i), int64(i))
+	}
+}
+
+// BenchmarkSpanEnabledParallel exercises stripe contention: distinct
+// (node, lane) sources map to distinct stripes.
+func BenchmarkSpanEnabledParallel(b *testing.B) {
+	tr := New(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var node atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		n := int(node.Add(1))
+		i := 0
+		for pb.Next() {
+			s := tr.Start(KindSpill, LaneSupport, n, i, 0)
+			s.End()
+			i++
+		}
+	})
+}

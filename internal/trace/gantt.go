@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file renders a recorded trace as a terminal Gantt chart for quick
+// inspection without leaving the shell: one row per (node, lane, slot)
+// track, spans painted as kind-coded glyphs over a common time axis.
+// Longer spans are painted first so nested detail (a sort inside a spill
+// inside a map task) overwrites its parent where it occurred — the same
+// visual nesting Perfetto draws vertically.
+
+// ganttGlyphs maps span kinds to their paint characters.
+var ganttGlyphs = [numKinds]byte{
+	KindJob:          '=',
+	KindMapTask:      'm',
+	KindSpill:        'S',
+	KindSort:         'o',
+	KindCombine:      'c',
+	KindMerge:        'G',
+	KindShuffleFetch: 'f',
+	KindReduceTask:   'r',
+	KindWaitMap:      '.',
+	KindWaitSupport:  '.',
+}
+
+// Gantt renders events as a fixed-width terminal timeline. width is the
+// number of columns for the time axis (minimum 20; 0 uses 100). The
+// chart is built in memory and written once; the returned error is the
+// writer's.
+func Gantt(w io.Writer, events []Event, width int) error {
+	var b strings.Builder
+	ganttTo(&b, events, width)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func ganttTo(w *strings.Builder, events []Event, width int) {
+	if width <= 0 {
+		width = 100
+	}
+	if width < 20 {
+		width = 20
+	}
+	var minTS, maxTS int64 = -1, 0
+	type trackKey struct {
+		node int32
+		lane Lane
+		slot int32
+	}
+	tracks := make(map[trackKey][]Event)
+	for _, e := range events {
+		if e.Kind.Instant() {
+			continue
+		}
+		if minTS < 0 || e.TS < minTS {
+			minTS = e.TS
+		}
+		if end := e.TS + e.Dur; end > maxTS {
+			maxTS = end
+		}
+		k := trackKey{e.Node, e.Lane, e.Slot}
+		tracks[k] = append(tracks[k], e)
+	}
+	if len(tracks) == 0 {
+		fmt.Fprintln(w, "trace: no spans recorded")
+		return
+	}
+	span := maxTS - minTS
+	if span <= 0 {
+		span = 1
+	}
+
+	keys := make([]trackKey, 0, len(tracks))
+	for k := range tracks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		if a.lane != b.lane {
+			return a.lane < b.lane
+		}
+		return a.slot < b.slot
+	})
+
+	total := time.Duration(span)
+	fmt.Fprintf(w, "timeline: %s across %d tracks (1 col = %s)\n",
+		total.Round(time.Microsecond), len(tracks), (total / time.Duration(width)).Round(time.Microsecond))
+	for _, k := range keys {
+		evs := tracks[k]
+		// Longest spans first so shorter (nested) spans repaint over them.
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Dur > evs[j].Dur })
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, e := range evs {
+			lo := int((e.TS - minTS) * int64(width) / span)
+			hi := int((e.TS + e.Dur - minTS) * int64(width) / span)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > width {
+				hi = width
+			}
+			g := ganttGlyphs[e.Kind]
+			if g == 0 {
+				g = '?'
+			}
+			for i := lo; i < hi && i < width; i++ {
+				row[i] = g
+			}
+		}
+		label := fmt.Sprintf("n%d %s/%d", k.node, k.lane, k.slot)
+		if k.node < 0 {
+			label = fmt.Sprintf("cluster %s", k.lane)
+		}
+		fmt.Fprintf(w, "%-16s |%s|\n", label, row)
+	}
+	fmt.Fprintln(w, "legend: = job  m map-task  S spill  o sort  c combine  G merge  f shuffle-fetch  r reduce-task  . wait")
+}

@@ -31,6 +31,7 @@ import (
 	"mrtext/internal/metrics"
 	"mrtext/internal/mr"
 	"mrtext/internal/textgen"
+	"mrtext/internal/trace"
 )
 
 // Core job-authoring types, re-exported from the runtime.
@@ -75,6 +76,9 @@ type (
 	GraphConfig = textgen.GraphConfig
 	// SynTextConfig parameterizes the SynText benchmark.
 	SynTextConfig = apps.SynTextConfig
+	// Tracer records a job's span timeline for Perfetto export; assign one
+	// to Job.Trace (see internal/trace for the event model).
+	Tracer = trace.Tracer
 )
 
 // NewCluster builds a simulated cluster.
@@ -96,6 +100,18 @@ func Run(c *Cluster, job *Job) (*Result, error) { return mr.Run(c, job) }
 // RunReference executes a job sequentially with no optimizations and no
 // parallelism: the semantic ground truth for output comparison.
 func RunReference(c *Cluster, job *Job) (map[int][]byte, error) { return mr.RunReference(c, job) }
+
+// NewTracer returns a span recorder of the given total event capacity
+// (<= 0 uses the default); assign it to Job.Trace before Run.
+func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// WriteTrace writes the tracer's recorded events as Chrome trace_event
+// JSON, loadable at ui.perfetto.dev or chrome://tracing.
+func WriteTrace(w io.Writer, t *Tracer) error { return trace.WriteJSON(w, t.Events()) }
+
+// WriteGantt renders the tracer's recorded events as a terminal Gantt
+// chart of the given column width.
+func WriteGantt(w io.Writer, t *Tracer, width int) error { return trace.Gantt(w, t.Events(), width) }
 
 // ReadOutput reads one reduce partition's output file of a completed job.
 func ReadOutput(c *Cluster, res *Result, part int) ([]byte, error) {
