@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"mrtext/internal/analysis"
+	"mrtext/internal/analysis/attemptpath"
 	"mrtext/internal/analysis/closecheck"
 	"mrtext/internal/analysis/droppederr"
 	"mrtext/internal/analysis/goroleak"
@@ -39,6 +40,7 @@ var analyzers = []*analysis.Analyzer{
 	goroleak.Analyzer,
 	closecheck.Analyzer,
 	spancheck.Analyzer,
+	attemptpath.Analyzer,
 }
 
 func main() {

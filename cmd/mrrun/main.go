@@ -36,6 +36,10 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome/Perfetto trace of the job to this file")
 		gantt     = flag.Bool("gantt", false, "print a terminal Gantt chart of the job timeline")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and live expvar metrics on this address (e.g. localhost:6060)")
+		chaosSeed = flag.Int64("chaos-seed", 0, "fault-injection seed (schedule is deterministic per seed)")
+		chaosFail = flag.Float64("chaos-fail-rate", 0, "per-attempt fault probability in [0,1] (0 disables injection)")
+		chaosKill = flag.Int("chaos-kill-node", -1, "kill this node mid-job (-1: no kill)")
+		speculate = flag.Bool("speculation", false, "launch speculative backup attempts for straggler tasks")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -56,6 +60,14 @@ func main() {
 	if *fast {
 		fcfg := mrtext.FastCluster(*nodes)
 		cfg = fcfg
+	}
+	chaosOn := *chaosFail > 0 || *chaosKill >= 0
+	if chaosOn {
+		cfg.Chaos = &mrtext.ChaosConfig{
+			Seed:     *chaosSeed,
+			FailRate: *chaosFail,
+			KillNode: *chaosKill,
+		}
 	}
 	c, err := mrtext.NewCluster(cfg)
 	if err != nil {
@@ -113,6 +125,7 @@ func main() {
 		}
 	}
 	job.SpillMatcher = *spill
+	job.Speculation = *speculate
 
 	var tr *mrtext.Tracer
 	if *traceOut != "" || *gantt {
@@ -129,6 +142,11 @@ func main() {
 		res.MapTasks, res.ReduceTasks)
 	fmt.Printf("placement: %d data-local, %d stolen map tasks\n",
 		res.LocalMapTasks, res.StolenMapTasks)
+	if chaosOn || *speculate {
+		fmt.Printf("fault tolerance: %d/%d attempts failed, %d retries, %d speculative (%d won), %d recovered, dead nodes %v\n",
+			res.FailedAttempts, res.MapAttempts+res.ReduceAttempts, res.TaskRetries,
+			res.SpeculativeTasks, res.SpeculativeWins, res.RecoveredMapTasks, res.DeadNodes)
+	}
 	fmt.Printf("map idle %.1f%%, support idle %.1f%%\n",
 		100*res.MapIdleFraction(), 100*res.SupportIdleFraction())
 	fmt.Print(res.Agg.Breakdown())

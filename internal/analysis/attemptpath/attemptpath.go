@@ -1,0 +1,165 @@
+// Package attemptpath flags task-side file creations whose path bypasses
+// the attempt-scoped naming helpers. The fault-tolerant runner relies on
+// every task attempt writing under its own attempt-scoped temp name and
+// committing by rename: a map or spill routine that opens its output at a
+// final (literal or ad-hoc formatted) path breaks idempotent commit — a
+// retried or speculative duplicate attempt would clobber the committed
+// copy instead of losing the rename race.
+//
+// Heuristic: inside any function whose lowercased name contains "task" or
+// "spill" (the task-side code by the runtime's naming convention), the
+// name argument of a file-creating call — a `Create(name, ...)` method
+// call, or `NewRunSink(disk, name, ...)` / `NewRunWriter(disk, name, ...)`
+// — must trace back to an attempt-scoped origin:
+//
+//   - a call to an attempt* naming helper (attemptDir, attemptSpillName,
+//     attemptMapOutName, attemptReduceTempName, ...), directly or through
+//     local variables;
+//   - a function parameter (the caller chose the path and is checked at
+//     its own call site); or
+//   - a selector expression (a field read carries a name the runner
+//     already owns, e.g. a committed RunIndex.Name).
+//
+// String literals, fmt.Sprintf results and locals derived from other
+// calls are reported. False positives can be suppressed with
+// //mrlint:ignore attemptpath <reason>.
+package attemptpath
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"mrtext/internal/analysis"
+)
+
+// Analyzer is the attemptpath analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "attemptpath",
+	Doc:  "flags task-side file writes that bypass the attempt-scoped path helpers",
+	Run:  run,
+}
+
+// creators maps file-creating callee names to the index of their path
+// argument.
+var creators = map[string]int{
+	"Create":       0,
+	"NewRunSink":   1,
+	"NewRunWriter": 1,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name := strings.ToLower(fn.Name.Name)
+			if !strings.Contains(name, "task") && !strings.Contains(name, "spill") {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkFunc scans one task-side function (including nested function
+// literals, which share its locals and obligations).
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	// Parameters are attempt-derived by fiat: their values are the
+	// caller's responsibility.
+	derived := make(map[string]bool)
+	for _, field := range fn.Type.Params.List {
+		for _, id := range field.Names {
+			derived[id.Name] = true
+		}
+	}
+
+	// Single forward pass: track which locals hold attempt-derived
+	// strings, and check creator calls as they appear. Source order is a
+	// sound approximation here — task code assigns a path before opening
+	// it.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if len(v.Lhs) < 1 || len(v.Rhs) < 1 {
+				return true
+			}
+			// x := expr / x = expr: only single-value or matched-arity
+			// forms matter for path locals.
+			if len(v.Lhs) == len(v.Rhs) {
+				for i, lhs := range v.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					if isDerived(v.Rhs[i], derived) {
+						derived[id.Name] = true
+					} else {
+						delete(derived, id.Name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			callee, pathIdx := creatorCall(v)
+			if callee == "" || pathIdx >= len(v.Args) {
+				return true
+			}
+			if !isDerived(v.Args[pathIdx], derived) {
+				pass.Reportf(v.Args[pathIdx].Pos(),
+					"task-side %s at a path that bypasses the attempt-scoped helpers; "+
+						"derive it from attempt*() or a parameter so duplicate attempts cannot clobber committed output", callee)
+			}
+		}
+		return true
+	})
+}
+
+// creatorCall reports the creator name and path-argument index of a
+// file-creating call, or "" for any other call.
+func creatorCall(call *ast.CallExpr) (string, int) {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return "", 0
+	}
+	idx, ok := creators[name]
+	if !ok {
+		return "", 0
+	}
+	return name, idx
+}
+
+// isDerived reports whether expr traces back to an attempt-scoped origin.
+func isDerived(expr ast.Expr, derived map[string]bool) bool {
+	switch v := expr.(type) {
+	case *ast.Ident:
+		return derived[v.Name]
+	case *ast.SelectorExpr:
+		// Field reads (out.index.Name, mo.index) carry names the runner
+		// already owns.
+		return true
+	case *ast.CallExpr:
+		// attempt* naming helpers are the sanctioned origin; any other
+		// call (fmt.Sprintf, filepath.Join, ...) is not.
+		switch fun := v.Fun.(type) {
+		case *ast.Ident:
+			return strings.HasPrefix(fun.Name, "attempt")
+		case *ast.SelectorExpr:
+			return strings.HasPrefix(fun.Sel.Name, "attempt")
+		}
+		return false
+	case *ast.BinaryExpr:
+		// String concatenation keeps a derived path derived ("dir + ext").
+		return v.Op == token.ADD && (isDerived(v.X, derived) || isDerived(v.Y, derived))
+	case *ast.ParenExpr:
+		return isDerived(v.X, derived)
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package attemptpath_test
+
+import (
+	"testing"
+
+	"mrtext/internal/analysis/analysistest"
+	"mrtext/internal/analysis/attemptpath"
+)
+
+func TestAttemptPath(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), attemptpath.Analyzer, "a")
+}

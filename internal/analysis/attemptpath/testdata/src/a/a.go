@@ -1,0 +1,84 @@
+// Package a seeds attemptpath golden cases: task-side file creations at
+// literal or ad-hoc paths must be flagged; paths derived from attempt*
+// helpers, parameters, or field reads must not.
+package a
+
+import (
+	"fmt"
+	"io"
+)
+
+type disk interface {
+	Create(name string) (io.WriteCloser, error)
+}
+
+type fs struct{}
+
+func (fs) Create(name string, node int) (io.WriteCloser, error) { return nil, nil }
+
+type runIndex struct{ Name string }
+
+type mapOutput struct{ index runIndex }
+
+func NewRunSink(d disk, name string, parts int, compressed bool) (io.Closer, error) { return nil, nil }
+
+func NewRunWriter(d disk, name string, parts int) (io.Closer, error) { return nil, nil }
+
+func attemptDir(prefix string, task, attempt int) string { return "" }
+
+func attemptSpillName(dir string, seq int) string { return "" }
+
+func attemptReduceTempName(prefix string, part, attempt int) string { return "" }
+
+// runMapTaskGood derives every created path from the attempt helpers or a
+// field read: no findings.
+func runMapTaskGood(d disk, out mapOutput, task, attempt int) error {
+	dir := attemptDir("wc", task, attempt)
+	name := attemptSpillName(dir, 0)
+	if _, err := NewRunSink(d, name, 4, false); err != nil {
+		return err
+	}
+	if _, err := NewRunWriter(d, dir+"/out", 4); err != nil {
+		return err
+	}
+	if _, err := d.Create(out.index.Name); err != nil {
+		return err
+	}
+	return nil
+}
+
+// writeSpillRun takes the path as a parameter: the caller owns it.
+func writeSpillRun(d disk, name string, parts int) error {
+	_, err := NewRunWriter(d, name, parts)
+	return err
+}
+
+// runMapTaskBad opens outputs at literal and formatted paths.
+func runMapTaskBad(d disk, f fs, task, attempt int) error {
+	if _, err := d.Create("m00001/out"); err != nil { // want `bypasses the attempt-scoped helpers`
+		return err
+	}
+	name := fmt.Sprintf("m%05d/out", task)
+	if _, err := NewRunSink(d, name, 4, false); err != nil { // want `bypasses the attempt-scoped helpers`
+		return err
+	}
+	tmp := attemptReduceTempName("wc", task, attempt)
+	tmp = "final-name"                          // reassignment loses the attempt-scoped origin
+	if _, err := f.Create(tmp, 0); err != nil { // want `bypasses the attempt-scoped helpers`
+		return err
+	}
+	return nil
+}
+
+// spillDirect seeds the NewRunWriter literal-path case in a "spill"
+// function.
+func spillDirect(d disk) error {
+	_, err := NewRunWriter(d, "spill0000", 4) // want `bypasses the attempt-scoped helpers`
+	return err
+}
+
+// loadCorpus is not task-side code: literal paths are fine here.
+func loadCorpus(d disk) error {
+	_, err := d.Create("corpus.txt")
+	return err
+}

@@ -20,13 +20,18 @@
 // locks anywhere is treated as holding the lock for all its accesses. That
 // is deliberately permissive — the goal is catching forgotten locking in
 // new methods, the way Stats() or Release() could regress, without false
-// positives on the existing code's lock discipline.
+// positives on the existing code's lock discipline. Methods whose name ends
+// in "Locked" are treated the same way: the suffix is this repository's
+// convention for "caller must hold the mutex" helpers (the fault-tolerance
+// bookkeeping in internal/mr uses it), so their accesses are under the lock
+// by contract.
 package lockcheck
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"mrtext/internal/analysis"
 )
@@ -192,6 +197,12 @@ func checkGuardedFields(pass *analysis.Pass) {
 				writes: make(map[string]token.Pos),
 			}
 			collectAccesses(pass, fd, recvName, info, m)
+			// The *Locked suffix documents "caller holds the mutex": such
+			// helpers access guarded state under the lock by contract even
+			// though the Lock call lives in their callers.
+			if strings.HasSuffix(m.name, "Locked") {
+				m.locks = true
+			}
 			info.methods = append(info.methods, m)
 		}
 	}

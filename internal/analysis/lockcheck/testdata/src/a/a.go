@@ -36,6 +36,19 @@ func (c *counter) Cap() int {
 	return c.cap // ok: cap is never written under the lock
 }
 
+// bumpLocked is a caller-holds-the-mutex helper: the Locked suffix is the
+// repository convention, so its guarded accesses are under the lock by
+// contract and must not be flagged.
+func (c *counter) bumpLocked(by int) {
+	c.n += by // ok: *Locked methods hold the mutex by contract
+}
+
+func (c *counter) AddTwo() {
+	c.mu.Lock()
+	c.bumpLocked(2)
+	c.mu.Unlock()
+}
+
 // waiter locks through a sync.Cond, like the spill buffer's consumer.
 type waiter struct {
 	mu   sync.Mutex

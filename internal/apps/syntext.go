@@ -62,11 +62,12 @@ func synTextCount(v []byte) (uint64, error) {
 type synTextMapper struct {
 	cfg     SynTextConfig
 	scratch []byte
+	cpuSink uint64 // per-mapper: map tasks burn CPU concurrently
 }
 
 func (m *synTextMapper) Map(_ int64, line []byte, out mr.Collector) error {
 	for _, w := range splitWords(line) {
-		burnCPU(w, m.cfg.CPUFactor)
+		m.cpuSink += burnCPU(w, m.cfg.CPUFactor)
 		m.scratch = synTextValue(m.scratch[:0], 1, m.cfg)
 		if err := out.Collect(w, m.scratch); err != nil {
 			return err
@@ -76,9 +77,9 @@ func (m *synTextMapper) Map(_ int64, line []byte, out mr.Collector) error {
 }
 
 // burnCPU performs factor rounds of hash mixing over the word — the
-// CPU-intensity knob. The result is fed into a sink so the work cannot be
-// optimized away.
-func burnCPU(word []byte, factor int) {
+// CPU-intensity knob. The caller accumulates the result into a per-mapper
+// sink so the work cannot be optimized away.
+func burnCPU(word []byte, factor int) uint64 {
 	var h uint64 = 1469598103934665603
 	for r := 0; r < factor; r++ {
 		for _, c := range word {
@@ -87,11 +88,8 @@ func burnCPU(word []byte, factor int) {
 			h ^= h >> 33
 		}
 	}
-	cpuSink += h
+	return h
 }
-
-// cpuSink defeats dead-code elimination of burnCPU.
-var cpuSink uint64
 
 func synTextCombine(cfg SynTextConfig) mr.CombineFunc {
 	return func(key []byte, values [][]byte, emit func(k, v []byte) error) error {

@@ -1,0 +1,117 @@
+package chaos
+
+import (
+	"io"
+
+	"mrtext/internal/vdisk"
+)
+
+// WrapDisk wraps a node-local disk so every operation — including reads
+// and writes on already-open files — first passes the injector's node
+// check: once the node is killed, in-flight I/O and new opens alike fail
+// with ErrNodeDead, exactly as a powered-off machine's disk would behave
+// to the rest of the cluster. With a nil injector the disk is returned
+// unwrapped, so the disabled path adds nothing.
+func WrapDisk(d vdisk.Disk, node int, in *Injector) vdisk.Disk {
+	if in == nil {
+		return d
+	}
+	return &faultDisk{inner: d, in: in, node: node}
+}
+
+type faultDisk struct {
+	inner vdisk.Disk
+	in    *Injector
+	node  int
+}
+
+func (f *faultDisk) Create(name string) (io.WriteCloser, error) {
+	if err := f.in.NodeOp(f.node); err != nil {
+		return nil, err
+	}
+	w, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultWriter{w: w, in: f.in, node: f.node}, nil
+}
+
+func (f *faultDisk) Open(name string) (io.ReadCloser, error) {
+	if err := f.in.NodeOp(f.node); err != nil {
+		return nil, err
+	}
+	r, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultReader{r: r, in: f.in, node: f.node}, nil
+}
+
+func (f *faultDisk) OpenSection(name string, off, length int64) (io.ReadCloser, error) {
+	if err := f.in.NodeOp(f.node); err != nil {
+		return nil, err
+	}
+	r, err := f.inner.OpenSection(name, off, length)
+	if err != nil {
+		return nil, err
+	}
+	return &faultReader{r: r, in: f.in, node: f.node}, nil
+}
+
+func (f *faultDisk) Size(name string) (int64, error) {
+	if err := f.in.NodeOp(f.node); err != nil {
+		return 0, err
+	}
+	return f.inner.Size(name)
+}
+
+func (f *faultDisk) Remove(name string) error {
+	if err := f.in.NodeOp(f.node); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *faultDisk) Rename(oldName, newName string) error {
+	if err := f.in.NodeOp(f.node); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldName, newName)
+}
+
+func (f *faultDisk) Stats() vdisk.Stats { return f.inner.Stats() }
+
+type faultWriter struct {
+	w    io.WriteCloser
+	in   *Injector
+	node int
+}
+
+func (w *faultWriter) Write(p []byte) (int, error) {
+	if err := w.in.NodeOp(w.node); err != nil {
+		return 0, err
+	}
+	return w.w.Write(p)
+}
+
+func (w *faultWriter) Close() error {
+	if err := w.in.NodeOp(w.node); err != nil {
+		return err
+	}
+	return w.w.Close()
+}
+
+type faultReader struct {
+	r    io.ReadCloser
+	in   *Injector
+	node int
+}
+
+func (r *faultReader) Read(p []byte) (int, error) {
+	if err := r.in.NodeOp(r.node); err != nil {
+		return 0, err
+	}
+	return r.r.Read(p)
+}
+
+func (r *faultReader) Close() error { return r.r.Close() }

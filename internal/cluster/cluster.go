@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"mrtext/internal/chaos"
 	"mrtext/internal/core/freqbuf"
 	"mrtext/internal/dfs"
 	"mrtext/internal/fabric"
@@ -34,6 +35,11 @@ type Config struct {
 	BlockSize int64
 	// Replication is the DFS replication factor.
 	Replication int
+	// Chaos, when non-nil, builds a fault injector wired through every
+	// node disk and the fabric. The injector starts disarmed — the runner
+	// arms it for the duration of a job — so cluster setup (dataset
+	// generation, input loading) always runs fault-free.
+	Chaos *chaos.Config
 }
 
 // LocalSmall mirrors the paper's local cluster: 6 machines running 12
@@ -95,6 +101,9 @@ type Cluster struct {
 	Net        *fabric.Fabric
 	FS         *dfs.DFS
 	FreqCaches []*freqbuf.Cache
+	// Chaos is the cluster's fault injector; nil when Config.Chaos was
+	// nil, which every consumer must tolerate (nil is fully disabled).
+	Chaos *chaos.Injector
 }
 
 // New builds a cluster from cfg.
@@ -114,6 +123,14 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Replication <= 0 {
 		cfg.Replication = 1
 	}
+	var inj *chaos.Injector
+	if cfg.Chaos != nil {
+		var err error
+		inj, err = chaos.New(*cfg.Chaos, cfg.Nodes)
+		if err != nil {
+			return nil, err
+		}
+	}
 	disks := make([]vdisk.Disk, cfg.Nodes)
 	caches := make([]*freqbuf.Cache, cfg.Nodes)
 	for i := range disks {
@@ -121,18 +138,26 @@ func New(cfg Config) (*Cluster, error) {
 		if cfg.DiskThrottle != nil {
 			d = vdisk.NewThrottled(d, *cfg.DiskThrottle)
 		}
-		disks[i] = d
+		disks[i] = chaos.WrapDisk(d, i, inj)
 		caches[i] = freqbuf.NewCache()
 	}
 	net, err := fabric.New(cfg.Nodes, cfg.Net)
 	if err != nil {
 		return nil, err
 	}
+	if inj != nil {
+		net.SetFaultHook(func(src, dst int) error {
+			if err := inj.NodeOp(src); err != nil {
+				return err
+			}
+			return inj.NodeOp(dst)
+		})
+	}
 	fs, err := dfs.New(disks, net, cfg.BlockSize, cfg.Replication)
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{cfg: cfg, Disks: disks, Net: net, FS: fs, FreqCaches: caches}, nil
+	return &Cluster{cfg: cfg, Disks: disks, Net: net, FS: fs, FreqCaches: caches, Chaos: inj}, nil
 }
 
 // Config returns the cluster's configuration.
@@ -152,3 +177,18 @@ func (c *Cluster) TotalMapSlots() int { return c.cfg.Nodes * c.cfg.MapSlotsPerNo
 
 // TotalReduceSlots returns cluster-wide reduce concurrency.
 func (c *Cluster) TotalReduceSlots() int { return c.cfg.Nodes * c.cfg.ReduceSlotsPerNode }
+
+// NodeDead reports whether the chaos layer has killed node n. Always
+// false without an injector.
+func (c *Cluster) NodeDead(n int) bool { return c.Chaos.NodeDead(n) }
+
+// LiveNodes returns the ids of nodes not killed by the chaos layer.
+func (c *Cluster) LiveNodes() []int {
+	live := make([]int, 0, c.cfg.Nodes)
+	for i := 0; i < c.cfg.Nodes; i++ {
+		if !c.Chaos.NodeDead(i) {
+			live = append(live, i)
+		}
+	}
+	return live
+}

@@ -129,59 +129,108 @@ func (w *writer) Write(p []byte) (int, error) {
 }
 
 // seal writes the buffered block to its replica disks and records it.
+// The primary replica is mandatory — if the writer's own node cannot
+// store the block, the write fails. Secondary replicas are best-effort:
+// a candidate that fails (e.g. a node killed by chaos) is skipped and
+// the next untried node takes its place, so node death degrades the
+// replication of in-flight writes instead of failing the job — the
+// HDFS pipeline-recovery behavior.
 func (w *writer) seal() error {
 	d := w.dfs
 	d.mu.Lock()
-	meta := d.files[w.name]
-	idx := len(meta.blocks)
-	// Primary on the writer's node (data locality for output), remaining
-	// replicas round-robin.
-	replicas := make([]int, 0, d.replication)
 	primary := w.node
 	if primary < 0 || primary >= len(d.disks) {
 		primary = d.nextPri % len(d.disks)
 	}
-	replicas = append(replicas, primary)
+	// Planned placement: primary on the writer's node (data locality for
+	// output), secondaries round-robin. The cursor advances exactly as if
+	// every candidate succeeded, so placement is unchanged on the
+	// fault-free path.
+	planned := []int{primary}
 	cursor := d.nextPri
-	for len(replicas) < d.replication {
+	for len(planned) < d.replication {
 		cand := cursor % len(d.disks)
 		cursor++
 		dup := false
-		for _, r := range replicas {
+		for _, r := range planned {
 			if r == cand {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			replicas = append(replicas, cand)
+			planned = append(planned, cand)
 		}
 	}
 	d.nextPri = cursor + 1
-	info := BlockInfo{Index: idx, Offset: meta.size, Len: int64(len(w.buf)), Replicas: replicas}
+	meta := d.files[w.name]
+	idx := len(meta.blocks)
+	d.mu.Unlock()
+
+	if err := w.writeReplica(idx, 0, primary, false); err != nil {
+		return fmt.Errorf("dfs: sealing block %d of %s: %w", idx, w.name, err)
+	}
+	replicas := []int{primary}
+	tried := map[int]bool{primary: true}
+	// Fallback candidate order: the planned secondaries, then every other
+	// node round-robin from where the plan stopped.
+	candidates := append([]int(nil), planned[1:]...)
+	for i := 0; i < len(d.disks); i++ {
+		candidates = append(candidates, (cursor+i)%len(d.disks))
+	}
+	for _, cand := range candidates {
+		if len(replicas) >= d.replication {
+			break
+		}
+		if tried[cand] {
+			continue
+		}
+		tried[cand] = true
+		if err := w.writeReplica(idx, len(replicas), cand, true); err != nil {
+			continue // degraded replication: skip the failed candidate
+		}
+		replicas = append(replicas, cand)
+	}
+
+	info := BlockInfo{Index: idx, Len: int64(len(w.buf)), Replicas: replicas}
+	d.mu.Lock()
+	meta = d.files[w.name]
+	info.Index = len(meta.blocks)
+	info.Offset = meta.size
 	meta.blocks = append(meta.blocks, info)
 	meta.size += info.Len
 	d.mu.Unlock()
+	w.buf = w.buf[:0]
+	return nil
+}
 
-	for ri, node := range replicas {
-		f, err := d.disks[node].Create(blockName(w.name, idx, ri))
-		if err != nil {
-			return fmt.Errorf("dfs: sealing block %d of %s: %w", idx, w.name, err)
-		}
-		if _, err := f.Write(w.buf); err != nil {
-			return fmt.Errorf("dfs: writing block %d of %s: %w", idx, w.name, errors.Join(err, f.Close()))
-		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("dfs: closing block %d of %s: %w", idx, w.name, err)
-		}
-		// Replica placement crosses the network.
-		if ri > 0 && d.net != nil {
-			if err := d.net.Transfer(w.node, node, info.Len); err != nil {
-				return err
-			}
+// writeReplica stores the buffered block as replica ri on node, charging
+// the fabric for non-primary placements. On any failure the partial block
+// file is removed so the name can be reused.
+func (w *writer) writeReplica(idx, ri, node int, remote bool) error {
+	d := w.dfs
+	name := blockName(w.name, idx, ri)
+	f, err := d.disks[node].Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(w.buf); err != nil {
+		//mrlint:ignore droppederr best-effort cleanup; the write error below is what the caller acts on
+		_ = d.disks[node].Remove(name)
+		return errors.Join(err, f.Close())
+	}
+	if err := f.Close(); err != nil {
+		//mrlint:ignore droppederr best-effort cleanup; the close error below is what the caller acts on
+		_ = d.disks[node].Remove(name)
+		return err
+	}
+	if remote && d.net != nil {
+		if err := d.net.Transfer(w.node, node, int64(len(w.buf))); err != nil {
+			//mrlint:ignore droppederr best-effort cleanup; the transfer error below is what the caller acts on
+			_ = d.disks[node].Remove(name)
+			return err
 		}
 	}
-	w.buf = w.buf[:0]
 	return nil
 }
 
@@ -255,6 +304,75 @@ func (d *DFS) Remove(name string) error {
 	return errors.Join(errs...)
 }
 
+// Rename atomically renames a sealed file, failing with vdisk.ErrExist
+// when the destination name already exists — the cross-node half of the
+// runtime's first-committer-wins attempt commit. Replicas whose disks fail
+// the rename (dead nodes) are dropped from the block's replica set; the
+// rename fails, rolled back, only if some block loses its last replica.
+func (d *DFS) Rename(oldName, newName string) error {
+	d.mu.Lock()
+	meta, ok := d.files[oldName]
+	if !ok || !meta.sealed {
+		d.mu.Unlock()
+		return fmt.Errorf("dfs: %w: %s", vdisk.ErrNotExist, oldName)
+	}
+	if _, ok := d.files[newName]; ok {
+		d.mu.Unlock()
+		return fmt.Errorf("dfs: %w: %s", vdisk.ErrExist, newName)
+	}
+	// Reserve the destination (unsealed placeholder) so a concurrent
+	// rename of a rival attempt's file loses with ErrExist.
+	d.files[newName] = &fileMeta{}
+	d.mu.Unlock()
+
+	// A sealed file's block list is immutable, so it is safe to walk
+	// without the lock.
+	type move struct {
+		node     int
+		from, to string
+	}
+	var done []move
+	newBlocks := make([]BlockInfo, 0, len(meta.blocks))
+	var failed error
+	for _, b := range meta.blocks {
+		var kept []int
+		for ri, node := range b.Replicas {
+			from := blockName(oldName, b.Index, ri)
+			to := blockName(newName, b.Index, len(kept))
+			if err := d.disks[node].Rename(from, to); err != nil {
+				failed = err // dead replica: drop it
+				continue
+			}
+			done = append(done, move{node: node, from: from, to: to})
+			kept = append(kept, node)
+		}
+		if len(kept) == 0 {
+			// Block lost entirely: roll back what was renamed so the file
+			// survives under its old name (minus the dead replicas).
+			for _, m := range done {
+				//mrlint:ignore droppederr best-effort rollback of a rename that already succeeded; the lost-block error below wins
+				_ = d.disks[m.node].Rename(m.to, m.from)
+			}
+			d.mu.Lock()
+			delete(d.files, newName)
+			d.mu.Unlock()
+			return fmt.Errorf("dfs: renaming %s: block %d has no live replica: %w", oldName, b.Index, failed)
+		}
+		nb := b
+		nb.Replicas = kept
+		newBlocks = append(newBlocks, nb)
+	}
+
+	d.mu.Lock()
+	nm := d.files[newName]
+	nm.blocks = newBlocks
+	nm.size = meta.size
+	nm.sealed = true
+	delete(d.files, oldName)
+	d.mu.Unlock()
+	return nil
+}
+
 // OpenFrom opens the file for sequential reading from byte offset off, as
 // seen by readerNode: each block is served from a local replica when one
 // exists, otherwise from the nearest replica across the fabric.
@@ -263,19 +381,24 @@ func (d *DFS) OpenFrom(name string, readerNode int, off int64) (io.ReadCloser, e
 	if err != nil {
 		return nil, err
 	}
-	return &reader{dfs: d, name: name, node: readerNode, blocks: blocks, off: off}, nil
+	return &reader{dfs: d, name: name, node: readerNode, blocks: blocks, off: off, triedIdx: -1}, nil
 }
 
-// reader streams a file block by block.
+// reader streams a file block by block. When a replica fails — at open or
+// mid-stream, as when its node dies — the reader fails over to the next
+// untried replica of the same block, resuming at the exact byte position.
+// A read fails only when every replica of a block is unreachable.
 type reader struct {
-	dfs    *DFS
-	name   string
-	node   int
-	blocks []BlockInfo
-	off    int64
-	cur    io.ReadCloser
-	curEnd int64 // file offset where the current block stream ends
-	closed bool
+	dfs      *DFS
+	name     string
+	node     int
+	blocks   []BlockInfo
+	off      int64
+	cur      io.ReadCloser
+	closed   bool
+	tried    map[int]bool // replica indexes already tried for block triedIdx
+	triedIdx int          // block Index the tried set applies to
+	lastErr  error
 }
 
 func (r *reader) Read(p []byte) (int, error) {
@@ -285,8 +408,8 @@ func (r *reader) Read(p []byte) (int, error) {
 	for {
 		if r.cur != nil {
 			n, err := r.cur.Read(p)
-			r.off += int64(n)
 			if err == io.EOF {
+				r.off += int64(n)
 				cerr := r.cur.Close()
 				r.cur = nil
 				if cerr != nil {
@@ -297,7 +420,18 @@ func (r *reader) Read(p []byte) (int, error) {
 				}
 				continue
 			}
-			return n, err
+			if err != nil {
+				// Replica failed mid-stream. The bytes from this read were
+				// never delivered, so discard them (r.off stays put) and
+				// fail over to another replica from the same position.
+				//mrlint:ignore droppederr the replica already failed; its close error adds nothing to the failover
+				_ = r.cur.Close()
+				r.cur = nil
+				r.lastErr = err
+				continue
+			}
+			r.off += int64(n)
+			return n, nil
 		}
 		// Find the block containing r.off.
 		var blk *BlockInfo
@@ -311,29 +445,57 @@ func (r *reader) Read(p []byte) (int, error) {
 		if blk == nil {
 			return 0, io.EOF
 		}
+		if blk.Index != r.triedIdx {
+			r.triedIdx = blk.Index
+			r.tried = nil
+			r.lastErr = nil
+		}
 		within := r.off - blk.Offset
-		src, replica := r.pickReplica(blk)
-		rc, err := r.dfs.disks[src].OpenSection(blockName(r.name, blk.Index, replica), within, blk.Len-within)
-		if err != nil {
-			return 0, fmt.Errorf("dfs: opening block %d of %s: %w", blk.Index, r.name, err)
+		opened := false
+		for _, ri := range r.replicaOrder(blk) {
+			if r.tried[ri] {
+				continue
+			}
+			if r.tried == nil {
+				r.tried = make(map[int]bool)
+			}
+			// Marked tried up front so a mid-stream failure moves on to the
+			// NEXT replica instead of retrying this one forever.
+			r.tried[ri] = true
+			src := blk.Replicas[ri]
+			rc, err := r.dfs.disks[src].OpenSection(blockName(r.name, blk.Index, ri), within, blk.Len-within)
+			if err != nil {
+				r.lastErr = err
+				continue
+			}
+			if src != r.node && r.dfs.net != nil {
+				rc = &chargedReader{rc: rc, net: r.dfs.net, src: src, dst: r.node}
+			}
+			r.cur = rc
+			opened = true
+			break
 		}
-		if src != r.node && r.dfs.net != nil {
-			rc = &chargedReader{rc: rc, net: r.dfs.net, src: src, dst: r.node}
+		if !opened {
+			return 0, fmt.Errorf("dfs: no live replica for block %d of %s: %w", blk.Index, r.name, r.lastErr)
 		}
-		r.cur = rc
-		r.curEnd = blk.Offset + blk.Len
 	}
 }
 
-// pickReplica chooses the replica to read: local if available, else the
-// primary. It returns the node and the replica index on that node.
-func (r *reader) pickReplica(b *BlockInfo) (node, replica int) {
+// replicaOrder returns the replica indexes of b in read-preference order:
+// local replicas first, then the rest primary-first.
+func (r *reader) replicaOrder(b *BlockInfo) []int {
+	order := make([]int, 0, len(b.Replicas))
 	for ri, n := range b.Replicas {
 		if n == r.node {
-			return n, ri
+			order = append(order, ri)
 		}
 	}
-	return b.Replicas[0], 0
+	for ri, n := range b.Replicas {
+		if n != r.node {
+			order = append(order, ri)
+		}
+	}
+	return order
 }
 
 func (r *reader) Close() error {

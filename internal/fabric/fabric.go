@@ -38,6 +38,13 @@ type Stats struct {
 	LocalReads int64
 }
 
+// NodeStats is per-NIC traffic accounting: what one node sent and
+// received across the fabric (local loopback traffic excluded).
+type NodeStats struct {
+	BytesOut int64
+	BytesIn  int64
+}
+
 // Fabric is the simulated interconnect. Safe for concurrent use.
 type Fabric struct {
 	cfg   Config
@@ -46,11 +53,16 @@ type Fabric struct {
 	xfers atomic.Int64
 	local atomic.Int64
 	lhits atomic.Int64
+	// hook, when installed, is consulted before every transfer; it lets
+	// the chaos layer fail transfers that touch a dead node.
+	hook atomic.Pointer[func(src, dst int) error]
 }
 
 type nic struct {
 	mu       sync.Mutex
 	nextFree time.Time
+	out      atomic.Int64
+	in       atomic.Int64
 }
 
 // New creates a fabric connecting n nodes.
@@ -64,11 +76,27 @@ func New(n int, cfg Config) (*Fabric, error) {
 // Nodes returns the number of connected nodes.
 func (f *Fabric) Nodes() int { return len(f.nics) }
 
+// SetFaultHook installs (or, with nil, removes) a check run before every
+// transfer, including same-node ones. A non-nil error from the hook fails
+// the transfer without moving or counting any bytes.
+func (f *Fabric) SetFaultHook(h func(src, dst int) error) {
+	if h == nil {
+		f.hook.Store(nil)
+		return
+	}
+	f.hook.Store(&h)
+}
+
 // Transfer moves n bytes from src to dst, blocking the caller for the
 // simulated transfer time. Same-node transfers return immediately.
 func (f *Fabric) Transfer(src, dst int, n int64) error {
 	if src < 0 || src >= len(f.nics) || dst < 0 || dst >= len(f.nics) {
 		return fmt.Errorf("fabric: transfer %d→%d outside 0..%d", src, dst, len(f.nics)-1)
+	}
+	if h := f.hook.Load(); h != nil {
+		if err := (*h)(src, dst); err != nil {
+			return fmt.Errorf("fabric: transfer %d→%d: %w", src, dst, err)
+		}
 	}
 	if src == dst {
 		f.local.Add(n)
@@ -77,6 +105,8 @@ func (f *Fabric) Transfer(src, dst int, n int64) error {
 	}
 	f.moved.Add(n)
 	f.xfers.Add(1)
+	f.nics[src].out.Add(n)
+	f.nics[dst].in.Add(n)
 	if f.cfg.BytesPerSec <= 0 && f.cfg.Latency <= 0 {
 		return nil
 	}
@@ -113,6 +143,17 @@ func (f *Fabric) Transfer(src, dst int, n int64) error {
 		time.Sleep(d)
 	}
 	return nil
+}
+
+// NodeStats returns one node's cumulative sent/received remote traffic.
+func (f *Fabric) NodeStats(node int) (NodeStats, error) {
+	if node < 0 || node >= len(f.nics) {
+		return NodeStats{}, fmt.Errorf("fabric: node %d outside 0..%d", node, len(f.nics)-1)
+	}
+	return NodeStats{
+		BytesOut: f.nics[node].out.Load(),
+		BytesIn:  f.nics[node].in.Load(),
+	}, nil
 }
 
 // Stats returns cumulative accounting.

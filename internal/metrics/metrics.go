@@ -125,6 +125,16 @@ const (
 	CtrCleanupErrors     = "cleanup.errors"     // best-effort cleanup failures (spill/output removal)
 	CtrLocalMapTasks     = "sched.local.tasks"  // map tasks placed on their split's primary host
 	CtrStolenMapTasks    = "sched.stolen.tasks" // map tasks work-stolen onto another node
+
+	// Fault-tolerance counters (the attempt machinery).
+	CtrMapAttempts       = "ft.map.attempts"        // map attempts started, retries and backups included
+	CtrReduceAttempts    = "ft.reduce.attempts"     // reduce attempts started
+	CtrTaskRetries       = "ft.task.retries"        // failed attempts that were requeued
+	CtrSpeculativeTasks  = "ft.speculative.tasks"   // backup attempts launched for stragglers
+	CtrSpeculativeWins   = "ft.speculative.wins"    // backups that committed before the original
+	CtrRecoveredMapTasks = "ft.recovered.map.tasks" // completed map tasks re-run after node death
+	CtrFailedAttempts    = "ft.failed.attempts"     // attempts that ended in an error
+	CtrSweptAttemptDirs  = "ft.swept.attempt.dirs"  // failed/lost attempts' temp files swept
 )
 
 // TaskMetrics accumulates instrumentation for a single task attempt. It is

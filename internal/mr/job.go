@@ -176,6 +176,32 @@ type Job struct {
 	// too, tracing is off and every span site reduces to a nil check.
 	Trace *trace.Tracer
 
+	// MaxAttempts bounds execution attempts per task, Hadoop's
+	// mapred.map.max.attempts (default 4): a task whose attempts all fail
+	// fails the job with the last attempt's error.
+	MaxAttempts int
+	// RetryBackoff is the base delay before a failed attempt is requeued
+	// (default 2ms). The actual delay is jittered deterministically per
+	// (task, attempt) to spread retry storms.
+	RetryBackoff time.Duration
+	// NodeFailureLimit blacklists a node for the rest of the job after
+	// this many failed attempts ran on it (default 4, Hadoop's
+	// mapred.max.tracker.failures). Blacklisting never removes the last
+	// live node.
+	NodeFailureLimit int
+	// Speculation enables backup attempts for stragglers: once
+	// SpeculationQuorum of a phase's tasks have committed, a task whose
+	// sole running attempt has been going longer than SpeculationSlowdown
+	// times the median committed duration gets one backup attempt; the
+	// first committer wins and the loser's output is discarded.
+	Speculation bool
+	// SpeculationSlowdown is the straggler threshold multiplier
+	// (default 1.8).
+	SpeculationSlowdown float64
+	// SpeculationQuorum is the fraction of committed tasks required
+	// before backups launch (default 0.6).
+	SpeculationQuorum float64
+
 	// filePrefix uniquifies intermediate file names so the same job spec
 	// can run repeatedly on one cluster. Set by withDefaults.
 	filePrefix string
@@ -211,6 +237,21 @@ func (j *Job) withDefaults(totalReduceSlots int) (*Job, error) {
 	}
 	if cp.StaticSpillPercent <= 0 || cp.StaticSpillPercent > 1 {
 		cp.StaticSpillPercent = spillmatch.DefaultStaticPercent
+	}
+	if cp.MaxAttempts <= 0 {
+		cp.MaxAttempts = 4
+	}
+	if cp.RetryBackoff <= 0 {
+		cp.RetryBackoff = 2 * time.Millisecond
+	}
+	if cp.NodeFailureLimit <= 0 {
+		cp.NodeFailureLimit = 4
+	}
+	if cp.SpeculationSlowdown <= 1 {
+		cp.SpeculationSlowdown = 1.8
+	}
+	if cp.SpeculationQuorum <= 0 || cp.SpeculationQuorum > 1 {
+		cp.SpeculationQuorum = 0.6
 	}
 	if cp.FreqBuf != nil {
 		fb := *cp.FreqBuf
@@ -278,6 +319,35 @@ type Result struct {
 	// primary host is out of range (orphans) count toward neither.
 	LocalMapTasks  int
 	StolenMapTasks int
+
+	// Fault-tolerance accounting. Every started attempt is exactly one of
+	// a task's base attempt, a retry of a failed attempt, a speculative
+	// backup, or a lost-output recovery re-run, so
+	//   MapAttempts + ReduceAttempts ==
+	//     MapTasks + ReduceTasks + TaskRetries + SpeculativeTasks + RecoveredMapTasks.
+	MapAttempts    int // map attempts started, including retries/backups/recoveries
+	ReduceAttempts int // reduce attempts started
+	TaskRetries    int // retry attempts started after a failed attempt
+	// SpeculativeTasks counts backup attempts started for stragglers;
+	// SpeculativeWins counts backups that committed before the original.
+	SpeculativeTasks int
+	SpeculativeWins  int
+	// RecoveredMapTasks counts re-runs of already-committed map tasks
+	// whose output node died before every reducer fetched from it.
+	RecoveredMapTasks int
+	// FailedAttempts counts attempts that ended in an error (each is
+	// either retried or fails the job).
+	FailedAttempts int
+	// SweptAttempts counts failed or losing attempts whose attempt-scoped
+	// temp files were swept; CleanupErrors counts best-effort removals
+	// that failed on a live node.
+	SweptAttempts int
+	CleanupErrors int
+	// DeadNodes lists nodes the chaos layer killed during the job;
+	// BlacklistedNodes lists nodes the runner stopped scheduling on after
+	// repeated attempt failures.
+	DeadNodes        []int
+	BlacklistedNodes []int
 }
 
 // MapIdleFraction returns the average fraction of map-task wall time the

@@ -1,9 +1,11 @@
 package mr
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"mrtext/internal/chaos"
 	"mrtext/internal/cluster"
 	"mrtext/internal/core/freqbuf"
 	"mrtext/internal/kvio"
@@ -14,17 +16,19 @@ import (
 )
 
 // spanner locates one task's spans in the trace: the tracer (nil when
-// tracing is off) plus the task's fixed (node, task, slot) coordinates.
+// tracing is off) plus the task attempt's fixed (node, task, slot,
+// attempt) coordinates.
 type spanner struct {
-	tr   *trace.Tracer
-	node int
-	task int
-	slot int
+	tr      *trace.Tracer
+	node    int
+	task    int
+	slot    int
+	attempt int
 }
 
-// start opens a span for this task on the given lane.
+// start opens a span for this task attempt on the given lane.
 func (sc spanner) start(kind trace.Kind, lane trace.Lane) trace.Span {
-	return sc.tr.Start(kind, lane, sc.node, sc.task, sc.slot)
+	return sc.tr.StartAttempt(kind, lane, sc.node, sc.task, sc.slot, sc.attempt)
 }
 
 // mapOutput locates one finished map task's partitioned output run.
@@ -52,7 +56,8 @@ type mapCollector struct {
 	emitted    int64
 	combineAcc time.Duration // combine time spent inside freqbuf (via the timed combiner)
 	published  bool
-	sp         spanner // freq-buffer eviction instants
+	sp         spanner     // freq-buffer eviction instants
+	plan       *chaos.Plan // nil when chaos is off: the guard below is the whole cost
 }
 
 // Collect implements Collector.
@@ -64,6 +69,11 @@ func (mc *mapCollector) Collect(key, value []byte) error {
 }
 
 func (mc *mapCollector) emit(key, value []byte) error {
+	if mc.plan != nil {
+		if err := mc.plan.Check(chaos.SiteEmit); err != nil {
+			return err
+		}
+	}
 	part := mc.job.Partition(key, mc.job.NumReducers)
 	mc.emitted++
 	mc.tm.Inc(metrics.CtrMapOutputRecords, 1)
@@ -270,25 +280,35 @@ func writeSpillRunHashed(disk vdisk.Disk, name string, parts int, recs kvio.Pack
 	return idx, nil
 }
 
-// runMapTask executes one map task on the given node: the map goroutine
-// reads the split and applies map(); the support goroutine sorts, combines
-// and spills; the task ends with the merge of all spill runs (plus the
-// drained frequency-buffer aggregates) into one partitioned output run.
-func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node, slot int) (mapOutput, TaskReport, error) {
+// runMapTask executes one attempt of a map task on the given node: the
+// map goroutine reads the split and applies map(); the support goroutine
+// sorts, combines and spills; the attempt ends with the merge of all spill
+// runs (plus the drained frequency-buffer aggregates) into one partitioned
+// output run, written under the attempt's temp namespace. The returned
+// created list names the attempt's surviving files (on success, just the
+// uncommitted output run) so the runner can commit-by-rename or sweep.
+func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node, slot, attempt int, plan *chaos.Plan) (mapOutput, TaskReport, []string, error) {
+	if plan != nil {
+		if d := plan.Delay(); d > 0 {
+			time.Sleep(d) // manufactured straggler
+		}
+	}
 	start := time.Now()
 	tm := metrics.NewTaskMetrics()
 	disk := c.Disks[node]
+	dir := attemptDir(job.filePrefix, taskIdx, attempt)
+	var created []string
 	report := TaskReport{Kind: "map", Index: taskIdx, Node: node}
-	sp := spanner{tr: job.Trace, node: node, task: taskIdx, slot: slot}
+	sp := spanner{tr: job.Trace, node: node, task: taskIdx, slot: slot, attempt: attempt}
 	taskSpan := sp.start(trace.KindMapTask, trace.LaneMap)
 	endTaskSpan := func() {
 		taskSpan.EndCounts(tm.Counter(metrics.CtrMapOutputRecords), tm.Counter(metrics.CtrMapOutputBytes))
 	}
-	fail := func(err error) (mapOutput, TaskReport, error) {
+	fail := func(err error) (mapOutput, TaskReport, []string, error) {
 		report.Wall = time.Since(start)
 		report.Metrics = tm.Snapshot()
 		endTaskSpan()
-		return mapOutput{}, report, fmt.Errorf("mr: map task %d (node %d): %w", taskIdx, node, err)
+		return mapOutput{}, report, created, fmt.Errorf("mr: map task %d attempt %d (node %d): %w", taskIdx, attempt, node, err)
 	}
 
 	// Memory budget: frequency-buffering carves its table out of the spill
@@ -297,10 +317,11 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node, sl
 	var freq *freqbuf.Buffer
 	var cache *freqbuf.Cache
 	mc := &mapCollector{
-		job: job,
-		tm:  tm,
-		et:  metrics.NewEmitTimer(tm, metrics.DefaultEmitWarmup, metrics.DefaultEmitPeriod),
-		sp:  sp,
+		job:  job,
+		tm:   tm,
+		et:   metrics.NewEmitTimer(tm, metrics.DefaultEmitWarmup, metrics.DefaultEmitPeriod),
+		sp:   sp,
+		plan: plan,
 	}
 
 	ctrl := job.newController()
@@ -360,7 +381,8 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node, sl
 	buf.AttachTrace(job.Trace, node, taskIdx, slot)
 	mc.buf = buf
 
-	// Support goroutine: consume spills.
+	// Support goroutine: consume spills. It appends to runs and created;
+	// both are read only after the goroutine is joined via supportErr.
 	var runs []kvio.RunIndex
 	supportErr := make(chan error, 1)
 	go func() {
@@ -372,15 +394,27 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node, sl
 				return
 			}
 			debugAssert(spill.Seq == spillSeq, "spill sequence mismatch: buffer handed seq %d, support expected %d", spill.Seq, spillSeq)
+			if plan != nil {
+				if err := plan.Check(chaos.SiteSpillWrite); err != nil {
+					// Closing from the consumer side unblocks a producer
+					// waiting for buffer space it would otherwise wait on
+					// forever; its ErrClosed is superseded at the join.
+					buf.Close()
+					supportErr <- err
+					return
+				}
+			}
 			spillSpan := sp.start(trace.KindSpill, trace.LaneSupport)
 			spillRecords := int64(spill.Recs.Len())
 			consumeStart := time.Now()
-			name := fmt.Sprintf("%s/m%05d/spill%04d", job.filePrefix, taskIdx, spillSeq)
+			name := attemptSpillName(dir, spillSeq)
 			spillSeq++
+			created = append(created, name)
 			idx, err := writeSpillRun(disk, name, job.NumReducers, spill.Recs, job, job.Combine, tm, sp)
 			if err != nil {
 				spillSpan.EndCounts(spillRecords, spill.Bytes)
 				buf.Release(spill, time.Since(consumeStart))
+				buf.Close() // unblock the producer; see the check above
 				supportErr <- err
 				return
 			}
@@ -402,6 +436,12 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node, sl
 	mc.et.Restart()
 	var mapErr error
 	for {
+		if plan != nil {
+			if err := plan.Check(chaos.SiteRecordRead); err != nil {
+				mapErr = err
+				break
+			}
+		}
 		off, line, ok, err := scanner.Next()
 		if err != nil {
 			mapErr = err
@@ -437,7 +477,10 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node, sl
 	}
 
 	buf.Close()
-	if err := <-supportErr; err != nil && mapErr == nil {
+	// The support goroutine's error wins over a map-side ErrClosed: when the
+	// consumer dies it closes the buffer, so the producer's failure is just
+	// the echo of the support failure.
+	if err := <-supportErr; err != nil && (mapErr == nil || errors.Is(mapErr, spillbuf.ErrClosed)) {
 		mapErr = fmt.Errorf("support thread: %w", err)
 	}
 	if mapErr != nil {
@@ -445,8 +488,10 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node, sl
 	}
 
 	// Merge all spill runs (plus drained frequent-key aggregates) into the
-	// final partitioned map output.
-	outName := fmt.Sprintf("%s/m%05d/out", job.filePrefix, taskIdx)
+	// attempt's partitioned output run; the runner commits the winning
+	// attempt by renaming it to the canonical map-output name.
+	outName := attemptMapOutName(dir)
+	created = append(created, outName)
 	out, err := kvio.NewRunSink(disk, outName, job.NumReducers, job.CompressRuns)
 	if err != nil {
 		return fail(err)
@@ -467,6 +512,12 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node, sl
 	}
 	mergeSpan := sp.start(trace.KindMerge, trace.LaneMap)
 	for p := 0; p < job.NumReducers; p++ {
+		if plan != nil {
+			if err := plan.Check(chaos.SiteMerge); err != nil {
+				mergeSpan.End()
+				return fail(err)
+			}
+		}
 		t0 := time.Now()
 		before := mergeCombineAcc
 		var streams []kvio.Stream
@@ -507,7 +558,9 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node, sl
 	report.Spill = buf.Stats()
 	report.Metrics = tm.Snapshot()
 	endTaskSpan()
-	return mapOutput{node: node, index: outIdx}, report, nil
+	// The spills are gone; the only surviving attempt file is the output
+	// run, which the runner either commits or sweeps.
+	return mapOutput{node: node, index: outIdx}, report, []string{outName}, nil
 }
 
 // splitByPartition groups already-sorted drained records by partition,

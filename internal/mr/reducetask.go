@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"time"
 
+	"mrtext/internal/chaos"
 	"mrtext/internal/cluster"
 	"mrtext/internal/kvio"
 	"mrtext/internal/metrics"
 	"mrtext/internal/serde"
 	"mrtext/internal/trace"
+	"mrtext/internal/vdisk"
 )
 
 // chargedStream wraps a Stream whose records flow from a remote map node:
@@ -87,11 +89,17 @@ type reduceCollector struct {
 	bufw   *bufio.Writer
 	tm     *metrics.TaskMetrics
 	ioAcc  *time.Duration
+	plan   *chaos.Plan
 	groups int64
 	values int64
 }
 
 func (rc *reduceCollector) Collect(key, value []byte) error {
+	if rc.plan != nil {
+		if err := rc.plan.Check(chaos.SiteReduceWrite); err != nil {
+			return err
+		}
+	}
 	t0 := time.Now()
 	defer func() { *rc.ioAcc += time.Since(t0) }()
 	rc.tm.Inc(metrics.CtrOutputRecords, 1)
@@ -113,21 +121,31 @@ func ReduceOutputName(prefix string, r int) string {
 	return fmt.Sprintf("%s-r-%05d", prefix, r)
 }
 
-// runReduceTask executes one reduce task: fetch this partition of every map
-// output (local reads for co-located outputs, fabric transfers otherwise),
-// merge-sort, group, apply reduce(), and write the final output to the DFS.
-func runReduceTask(c *cluster.Cluster, job *Job, part, node, slot int, mapOuts []mapOutput) (string, TaskReport, error) {
+// runReduceTask executes one attempt of a reduce task: fetch this
+// partition of every map output (local reads for co-located outputs,
+// fabric transfers otherwise), merge-sort, group, apply reduce(), and
+// write the output to an attempt-scoped DFS temp file. On success the
+// attempt commits by renaming the temp to the canonical output name; the
+// DFS's fail-on-exist rename makes the first committer win, so a losing
+// duplicate attempt returns won=false with its temp left in created for
+// the runner to sweep.
+func runReduceTask(c *cluster.Cluster, job *Job, part, node, slot, attempt int, plan *chaos.Plan, mapOuts []mapOutput) (outName string, won bool, created []string, rep TaskReport, err error) {
+	if plan != nil {
+		if d := plan.Delay(); d > 0 {
+			time.Sleep(d) // manufactured straggler
+		}
+	}
 	start := time.Now()
 	tm := metrics.NewTaskMetrics()
 	report := TaskReport{Kind: "reduce", Index: part, Node: node}
-	sp := spanner{tr: job.Trace, node: node, task: part, slot: slot}
+	sp := spanner{tr: job.Trace, node: node, task: part, slot: slot, attempt: attempt}
 	taskSpan := sp.start(trace.KindReduceTask, trace.LaneReduce)
-	fail := func(err error) (string, TaskReport, error) {
+	fail := func(err error) (string, bool, []string, TaskReport, error) {
 		report.Wall = time.Since(start)
 		report.ShuffleBytes = tm.Counter(metrics.CtrShuffleBytes)
 		report.Metrics = tm.Snapshot()
 		taskSpan.EndCounts(tm.Counter(metrics.CtrOutputRecords), tm.Counter(metrics.CtrOutputBytes))
-		return "", report, fmt.Errorf("mr: reduce task %d (node %d): %w", part, node, err)
+		return "", false, created, report, fmt.Errorf("mr: reduce task %d attempt %d (node %d): %w", part, attempt, node, err)
 	}
 
 	// Shuffle: open this partition's segment of every map output.
@@ -135,6 +153,16 @@ func runReduceTask(c *cluster.Cluster, job *Job, part, node, slot int, mapOuts [
 	fetchSpan := sp.start(trace.KindShuffleFetch, trace.LaneReduce)
 	streams := make([]kvio.Stream, 0, len(mapOuts))
 	for _, mo := range mapOuts {
+		if plan != nil {
+			if err := plan.Check(chaos.SiteShuffleFetch); err != nil {
+				errs := []error{err}
+				for _, os := range streams {
+					errs = append(errs, os.Close())
+				}
+				fetchSpan.End()
+				return fail(errors.Join(errs...))
+			}
+		}
 		s, err := kvio.OpenRunPart(c.Disks[mo.node], mo.index, part)
 		if err != nil {
 			errs := []error{err}
@@ -155,14 +183,15 @@ func runReduceTask(c *cluster.Cluster, job *Job, part, node, slot int, mapOuts [
 	fetchSpan.EndCounts(int64(len(streams)), 0)
 	tm.Add(metrics.OpShuffle, time.Since(shuffleStart))
 
-	outName := ReduceOutputName(job.OutputPrefix, part)
-	outFile, err := c.FS.Create(outName, node)
+	tmpName := attemptReduceTempName(job.OutputPrefix, part, attempt)
+	outFile, err := c.FS.Create(tmpName, node)
 	if err != nil {
 		return fail(err)
 	}
+	created = append(created, tmpName)
 	bufw := bufio.NewWriterSize(outFile, 64<<10)
 	var pullAcc, ioAcc time.Duration
-	rc := &reduceCollector{job: job, w: serde.NewWriter(bufw), bufw: bufw, tm: tm, ioAcc: &ioAcc}
+	rc := &reduceCollector{job: job, w: serde.NewWriter(bufw), bufw: bufw, tm: tm, ioAcc: &ioAcc, plan: plan}
 	reducer := job.NewReducer()
 
 	for {
@@ -200,9 +229,21 @@ func runReduceTask(c *cluster.Cluster, job *Job, part, node, slot int, mapOuts [
 	}
 	tm.Add(metrics.OpOutputIO, time.Since(t0))
 
+	// Commit: rename the attempt temp onto the canonical output name.
+	// ErrExist means a rival attempt already committed — not a failure,
+	// just a lost race; the temp stays in created for the runner to sweep.
+	finalName := ReduceOutputName(job.OutputPrefix, part)
+	rerr := c.FS.Rename(tmpName, finalName)
+	won = rerr == nil
+	if won {
+		created = nil
+	} else if !errors.Is(rerr, vdisk.ErrExist) {
+		return fail(rerr)
+	}
+
 	report.Wall = time.Since(start)
 	report.ShuffleBytes = tm.Counter(metrics.CtrShuffleBytes)
 	report.Metrics = tm.Snapshot()
 	taskSpan.EndCounts(tm.Counter(metrics.CtrOutputRecords), tm.Counter(metrics.CtrOutputBytes))
-	return outName, report, nil
+	return finalName, won, created, report, nil
 }

@@ -1,10 +1,13 @@
 package mr
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"mrtext/internal/chaos"
 	"mrtext/internal/cluster"
 	"mrtext/internal/metrics"
 	"mrtext/internal/trace"
@@ -12,9 +15,19 @@ import (
 
 // Run executes a job on the cluster and blocks until completion. Map tasks
 // are placed data-locally (the node holding the split's primary replica)
-// with work stealing to keep slots busy; reduce tasks are placed
-// round-robin. The paper's configuration of "12 mappers and 12 reducers on
-// 6 machines" corresponds to 2 map + 2 reduce slots per node.
+// with work stealing to keep slots busy; reduce tasks are queued and
+// pulled by per-node reduce slots. The paper's configuration of "12
+// mappers and 12 reducers on 6 machines" corresponds to 2 map + 2 reduce
+// slots per node.
+//
+// Execution is attempt-based: each task runs as one or more (task,
+// attempt) pairs writing attempt-scoped temp files that commit by rename,
+// so any attempt's failure is retried with jittered backoff (up to
+// Job.MaxAttempts), nodes that keep failing attempts are blacklisted,
+// stragglers optionally get speculative backup attempts, and committed
+// map outputs lost to a node death are re-run. Duplicate attempts of one
+// task run to completion — the simulator has no task kill — and the first
+// committer wins; losers are discarded and their temp files swept.
 func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 	job, err := spec.withDefaults(c.TotalReduceSlots())
 	if err != nil {
@@ -29,100 +42,135 @@ func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 	}
 	tr := job.Trace
 
+	// Arm the chaos injector for the duration of the job only: dataset
+	// generation and everything else outside Run stays fault-free.
+	if c.Chaos != nil {
+		c.Chaos.Arm()
+		defer c.Chaos.Disarm()
+	}
+
 	start := time.Now()
 	res := &Result{Job: job.Name, MapTasks: len(splits), ReduceTasks: job.NumReducers}
 	jobSpan := tr.Start(trace.KindJob, trace.LaneScheduler, -1, -1, 0)
 	defer jobSpan.End()
 
+	ft := newFTRun(c, job)
+
 	// ----- Map phase -----
-	sched := newScheduler(c.Nodes(), splits)
 	mapOuts := make([]mapOutput, len(splits))
 	mapReports := make([]TaskReport, len(splits))
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	setErr := func(err error) {
-		errOnce.Do(func() {
-			firstErr = err
-			sched.abort()
-		})
-	}
+	sched := newScheduler(c.Nodes(), splits)
+	ft.beginPhase(len(splits), sched, true)
+	stopSpec := make(chan struct{})
+	var specWG sync.WaitGroup
+	specWG.Add(1)
+	go func() { defer specWG.Done(); ft.speculate(stopSpec) }()
+	var wg sync.WaitGroup
 	for node := 0; node < c.Nodes(); node++ {
 		for slot := 0; slot < c.MapSlots(); slot++ {
 			wg.Add(1)
+			ft.addWorker()
 			go func(node, slot int) {
 				defer wg.Done()
 				for {
-					taskIdx, src, ok := sched.take(node)
+					pa, src, ok := ft.next(node)
 					if !ok {
 						return
 					}
 					if src == takeStolen {
-						tr.Instant(trace.KindWorkSteal, trace.LaneScheduler, node, taskIdx, int64(splits[taskIdx].Hosts[0]))
+						tr.Instant(trace.KindWorkSteal, trace.LaneScheduler, node, pa.task, int64(splits[pa.task].Hosts[0]))
 					}
-					out, rep, err := runMapTask(c, job, taskIdx, splits[taskIdx], node, slot)
-					mapOuts[taskIdx] = out
-					mapReports[taskIdx] = rep
+					plan := c.Chaos.Plan(node, pa.task, pa.attempt, chaos.MapSites())
+					out, rep, created, err := runMapTask(c, job, pa.task, splits[pa.task], node, slot, pa.attempt, plan)
 					if err != nil {
-						setErr(err)
-						return
+						ft.sweepDiskFiles(node, created)
+						ft.attemptFailed(pa, node, err)
+						continue
 					}
+					ft.commitMap(pa, node, out, rep, mapOuts, mapReports)
 				}
 			}(node, slot)
 		}
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	close(stopSpec)
+	specWG.Wait()
+	if err := ft.jobErr(); err != nil {
+		return nil, err
 	}
 	res.MapWall = time.Since(start)
+
+	// Recovery needs per-map-task attempt numbering to survive into the
+	// reduce phase, where lost outputs are re-run.
+	mapNext := make([]int, len(splits))
+	for i := range ft.tasks {
+		mapNext[i] = ft.tasks[i].nextAttempt
+	}
 
 	// ----- Reduce phase -----
 	reduceStart := time.Now()
 	outputs := make([]string, job.NumReducers)
 	reduceReports := make([]TaskReport, job.NumReducers)
-	slots := make([]chan struct{}, c.Nodes())
-	for n := range slots {
-		slots[n] = make(chan struct{}, c.ReduceSlots())
-	}
+	ft.beginPhase(job.NumReducers, nil, false)
+	ft.enqueueBase(job.NumReducers)
+	stopSpec = make(chan struct{})
+	specWG.Add(1)
+	go func() { defer specWG.Done(); ft.speculate(stopSpec) }()
 	var rwg sync.WaitGroup
-	for r := 0; r < job.NumReducers; r++ {
-		node := r % c.Nodes()
-		// The r-th task for a node occupies that node's (r / nodes)-th
-		// reduce slot admission, which names its trace swimlane.
-		slot := (r / c.Nodes()) % c.ReduceSlots()
-		rwg.Add(1)
-		go func(r, node, slot int) {
-			defer rwg.Done()
-			enqueued := time.Now()
-			slots[node] <- struct{}{}
-			queueWait := time.Since(enqueued)
-			defer func() { <-slots[node] }()
-			out, rep, err := runReduceTask(c, job, r, node, slot, mapOuts)
-			rep.QueueWait = queueWait
-			outputs[r] = out
-			reduceReports[r] = rep
-			if err != nil {
-				setErr(err)
-			}
-		}(r, node, slot)
+	for node := 0; node < c.Nodes(); node++ {
+		for slot := 0; slot < c.ReduceSlots(); slot++ {
+			rwg.Add(1)
+			ft.addWorker()
+			go func(node, slot int) {
+				defer rwg.Done()
+				for {
+					pa, _, ok := ft.next(node)
+					if !ok {
+						return
+					}
+					queueWait := time.Since(pa.enqueued)
+					plan := c.Chaos.Plan(node, pa.task, pa.attempt, chaos.ReduceSites())
+					snap := ft.snapshotMapOuts(mapOuts)
+					outName, won, created, rep, err := runReduceTask(c, job, pa.task, node, slot, pa.attempt, plan, snap)
+					rep.QueueWait = queueWait
+					if err != nil {
+						ft.sweepDFSFiles(created)
+						ft.recoverLostMapOuts(splits, mapOuts, mapReports, mapNext)
+						ft.attemptFailed(pa, node, err)
+						continue
+					}
+					if !won {
+						// A rival attempt committed first: discard.
+						ft.sweepDFSFiles(created)
+						ft.noteLoss(pa)
+						continue
+					}
+					ft.commitReduce(pa, outName, rep, outputs, reduceReports)
+				}
+			}(node, slot)
+		}
 	}
 	rwg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	close(stopSpec)
+	specWG.Wait()
+	if err := ft.jobErr(); err != nil {
+		return nil, err
 	}
 	res.ReduceWall = time.Since(reduceStart)
 	res.Wall = time.Since(start)
 	res.Outputs = outputs
 
-	// Intermediate map outputs are no longer needed. Removal is best-effort
-	// cleanup: failures are counted on the job aggregate, not fatal.
-	var cleanupErrs int64
+	// Committed map outputs are no longer needed. Removal is best-effort
+	// cleanup: failures are counted on the job aggregate, not fatal. Dead
+	// nodes' outputs are unreachable and skipped.
 	for _, mo := range mapOuts {
+		if c.NodeDead(mo.node) {
+			continue
+		}
 		if err := c.Disks[mo.node].Remove(mo.index.Name); err != nil {
-			cleanupErrs++
+			ft.mu.Lock()
+			ft.cleanupErrs++
+			ft.mu.Unlock()
 		}
 	}
 
@@ -133,13 +181,634 @@ func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 	if res.Agg.Counters == nil {
 		res.Agg.Counters = make(map[string]int64)
 	}
-	if cleanupErrs > 0 {
-		res.Agg.Counters[metrics.CtrCleanupErrors] += cleanupErrs
-	}
 	res.LocalMapTasks, res.StolenMapTasks = sched.placement()
 	res.Agg.Counters[metrics.CtrLocalMapTasks] += int64(res.LocalMapTasks)
 	res.Agg.Counters[metrics.CtrStolenMapTasks] += int64(res.StolenMapTasks)
+	ft.fillResult(res)
 	return res, nil
+}
+
+// attemptKind classifies why an attempt was started; every started
+// attempt has exactly one kind, which is what makes the Result counter
+// identity hold.
+type attemptKind int
+
+const (
+	attemptBase        attemptKind = iota // a task's first attempt
+	attemptRetry                          // requeued after a failed attempt
+	attemptSpeculative                    // backup attempt for a straggler
+	attemptRecovery                       // re-run of a committed map task after node death
+)
+
+// pendingAttempt is one schedulable unit of work: a (task, attempt) pair.
+type pendingAttempt struct {
+	task     int
+	attempt  int
+	kind     attemptKind
+	enqueued time.Time
+}
+
+// runningInfo tracks one in-flight attempt for the speculation monitor.
+type runningInfo struct {
+	attempt int
+	node    int
+	start   time.Time
+}
+
+// ftTask is the runner's per-task fault-tolerance state within a phase.
+type ftTask struct {
+	committed   bool          // a winning attempt's output is at the canonical name
+	committing  bool          // a map commit rename is in flight (serializes committers)
+	nextAttempt int           // next attempt number to hand out
+	failures    int           // failed attempts so far (job fails at MaxAttempts)
+	backup      bool          // a speculative backup has been launched
+	running     []runningInfo // in-flight attempts
+	winDur      time.Duration // the winning attempt's wall time (speculation baseline)
+}
+
+// ftRun coordinates attempt-based execution for one job: it layers retry,
+// blacklisting, speculation and recovery over the locality scheduler. All
+// mutable state is guarded by mu; cond wakes workers when new attempts
+// become runnable or the phase ends.
+type ftRun struct {
+	c    *cluster.Cluster
+	job  *Job
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	aborted bool
+	err     error
+
+	// Per-phase state, reset by beginPhase.
+	gen       int // phase generation; stale backoff timers check it
+	total     int
+	done      int
+	phaseDone bool
+	mapPhase  bool
+	tasks     []ftTask
+	queue     []pendingAttempt
+	inner     *scheduler // locality scheduler (map phase only)
+
+	// Cross-phase node state.
+	nodeFailures  []int
+	blacklisted   []bool
+	deadKnown     []bool
+	activeWorkers int
+	recovering    bool // a lost-map-output recovery is in flight (singleflight)
+
+	// Counters (surfaced on Result).
+	mapAttempts    int
+	reduceAttempts int
+	retries        int
+	spec           int
+	specWins       int
+	recovered      int
+	failed         int
+	swept          int
+	cleanupErrs    int
+}
+
+func newFTRun(c *cluster.Cluster, job *Job) *ftRun {
+	ft := &ftRun{
+		c:            c,
+		job:          job,
+		nodeFailures: make([]int, c.Nodes()),
+		blacklisted:  make([]bool, c.Nodes()),
+		deadKnown:    make([]bool, c.Nodes()),
+	}
+	ft.cond = sync.NewCond(&ft.mu)
+	return ft
+}
+
+// beginPhase resets per-phase scheduling state. Node state (deaths,
+// blacklist) carries across phases: a dead node stays dead.
+func (ft *ftRun) beginPhase(total int, inner *scheduler, mapPhase bool) {
+	ft.mu.Lock()
+	ft.gen++
+	ft.total = total
+	ft.done = 0
+	ft.phaseDone = total == 0
+	ft.mapPhase = mapPhase
+	ft.tasks = make([]ftTask, total)
+	ft.queue = nil
+	ft.inner = inner
+	ft.activeWorkers = 0
+	ft.mu.Unlock()
+}
+
+// enqueueBase queues every task's first attempt (reduce phase, which has
+// no locality scheduler).
+func (ft *ftRun) enqueueBase(n int) {
+	now := time.Now()
+	ft.mu.Lock()
+	for t := 0; t < n; t++ {
+		ft.queue = append(ft.queue, pendingAttempt{task: t, attempt: 0, kind: attemptBase, enqueued: now})
+		ft.tasks[t].nextAttempt = 1
+	}
+	ft.cond.Broadcast()
+	ft.mu.Unlock()
+}
+
+func (ft *ftRun) addWorker() {
+	ft.mu.Lock()
+	ft.activeWorkers++
+	ft.mu.Unlock()
+}
+
+func (ft *ftRun) jobErr() error {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.err
+}
+
+// next blocks until an attempt is runnable on node, the phase ends, or
+// the node becomes unusable (dead or blacklisted). The takeSource reports
+// work stealing for base map attempts.
+func (ft *ftRun) next(node int) (pendingAttempt, takeSource, bool) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	for {
+		if ft.aborted || ft.phaseDone {
+			return pendingAttempt{}, takeLocal, false
+		}
+		if ft.deadKnown[node] || ft.blacklisted[node] {
+			ft.activeWorkers--
+			if ft.activeWorkers == 0 && !ft.phaseDone {
+				ft.failLocked(fmt.Errorf("mr: no live unblacklisted workers left (%d of %d tasks incomplete)", ft.total-ft.done, ft.total))
+			}
+			return pendingAttempt{}, takeLocal, false
+		}
+		if ft.recovering {
+			// Reduce attempts dispatched mid-recovery would fetch from a
+			// map-output table still pointing at a dead node.
+			ft.cond.Wait()
+			continue
+		}
+		if ft.inner != nil {
+			if task, src, ok := ft.inner.take(node); ok {
+				ts := &ft.tasks[task]
+				pa := pendingAttempt{task: task, attempt: ts.nextAttempt, kind: attemptBase, enqueued: time.Now()}
+				ts.nextAttempt++
+				ft.noteStartLocked(pa, node)
+				return pa, src, true
+			}
+		}
+		for len(ft.queue) > 0 {
+			pa := ft.queue[0]
+			ft.queue = ft.queue[1:]
+			if ft.tasks[pa.task].committed {
+				continue // stale: a rival attempt won while this waited
+			}
+			ft.noteStartLocked(pa, node)
+			return pa, takeLocal, true
+		}
+		ft.cond.Wait()
+	}
+}
+
+// noteStartLocked records an attempt start: counters are incremented here,
+// at attempt start, so every started attempt is counted exactly once
+// under its kind.
+func (ft *ftRun) noteStartLocked(pa pendingAttempt, node int) {
+	ts := &ft.tasks[pa.task]
+	ts.running = append(ts.running, runningInfo{attempt: pa.attempt, node: node, start: time.Now()})
+	if ft.mapPhase {
+		ft.mapAttempts++
+	} else {
+		ft.reduceAttempts++
+	}
+	switch pa.kind {
+	case attemptRetry:
+		ft.retries++
+	case attemptSpeculative:
+		ft.spec++
+	case attemptRecovery:
+		ft.recovered++
+	}
+}
+
+func (ft *ftRun) noteEndLocked(task, attempt int) {
+	ts := &ft.tasks[task]
+	for i, ri := range ts.running {
+		if ri.attempt == attempt {
+			ts.running = append(ts.running[:i], ts.running[i+1:]...)
+			return
+		}
+	}
+}
+
+func (ft *ftRun) failLocked(err error) {
+	if !ft.aborted {
+		ft.aborted = true
+		ft.err = err
+		if ft.inner != nil {
+			ft.inner.abort()
+		}
+	}
+	ft.cond.Broadcast()
+}
+
+// usableNodesLocked counts nodes that are neither dead nor blacklisted.
+func (ft *ftRun) usableNodesLocked() int {
+	n := 0
+	for i := range ft.blacklisted {
+		if !ft.blacklisted[i] && !ft.deadKnown[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// refreshDeadNodes folds newly observed chaos kills into scheduler state,
+// emitting a node-death instant once per node.
+func (ft *ftRun) refreshDeadNodes() {
+	if ft.c.Chaos == nil {
+		return
+	}
+	dead := ft.c.Chaos.DeadNodes()
+	if len(dead) == 0 {
+		return
+	}
+	ft.mu.Lock()
+	for _, n := range dead {
+		if !ft.deadKnown[n] {
+			ft.deadKnown[n] = true
+			ft.job.Trace.Instant(trace.KindNodeDeath, trace.LaneScheduler, n, -1, int64(n))
+		}
+	}
+	ft.cond.Broadcast()
+	ft.mu.Unlock()
+}
+
+// attemptFailed handles an attempt error: requeue with jittered backoff,
+// blacklist the node if it keeps failing attempts, or fail the job once
+// the task exhausts MaxAttempts. A failure after a rival committed is
+// moot — the task is done regardless.
+func (ft *ftRun) attemptFailed(pa pendingAttempt, node int, err error) {
+	ft.refreshDeadNodes()
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	ft.noteEndLocked(pa.task, pa.attempt)
+	ft.failed++
+	ts := &ft.tasks[pa.task]
+	if ts.committed || ft.aborted {
+		return
+	}
+	ts.failures++
+	if !ft.deadKnown[node] {
+		ft.nodeFailures[node]++
+		if ft.nodeFailures[node] >= ft.job.NodeFailureLimit && !ft.blacklisted[node] && ft.usableNodesLocked() > 1 {
+			ft.blacklisted[node] = true
+			ft.cond.Broadcast()
+		}
+	}
+	if ts.failures >= ft.job.MaxAttempts {
+		ft.failLocked(fmt.Errorf("mr: task failed %d attempts, last: %w", ts.failures, err))
+		return
+	}
+	attemptNo := ts.nextAttempt
+	ts.nextAttempt++
+	ft.job.Trace.Instant(trace.KindTaskRetry, trace.LaneScheduler, node, pa.task, int64(attemptNo))
+	gen, task := ft.gen, pa.task
+	time.AfterFunc(backoffFor(ft.job.RetryBackoff, task, attemptNo), func() {
+		ft.mu.Lock()
+		defer ft.mu.Unlock()
+		if ft.gen != gen || ft.aborted || ft.phaseDone || ft.tasks[task].committed {
+			return // the phase moved on while this retry waited out its backoff
+		}
+		ft.queue = append(ft.queue, pendingAttempt{task: task, attempt: attemptNo, kind: attemptRetry, enqueued: time.Now()})
+		ft.cond.Broadcast()
+	})
+}
+
+// commitMap publishes a finished map attempt's output at the canonical
+// name. The disk rename arbitrates same-node duplicates (fail-on-exist);
+// the committing latch serializes cross-node duplicates, whose attempt
+// outputs live on different disks where both renames would succeed.
+func (ft *ftRun) commitMap(pa pendingAttempt, node int, out mapOutput, rep TaskReport, mapOuts []mapOutput, mapReports []TaskReport) {
+	ft.mu.Lock()
+	ft.noteEndLocked(pa.task, pa.attempt)
+	ts := &ft.tasks[pa.task]
+	for ts.committing {
+		ft.cond.Wait()
+	}
+	if ts.committed || ft.aborted {
+		ft.mu.Unlock()
+		ft.sweepDiskFiles(node, []string{out.index.Name})
+		return
+	}
+	ts.committing = true
+	ft.mu.Unlock()
+
+	canon := canonicalMapOutName(ft.job.filePrefix, pa.task)
+	rerr := ft.c.Disks[node].Rename(out.index.Name, canon)
+
+	ft.mu.Lock()
+	ts.committing = false
+	if rerr != nil {
+		ft.cond.Broadcast()
+		ft.mu.Unlock()
+		ft.sweepDiskFiles(node, []string{out.index.Name})
+		ft.attemptFailed(pa, node, rerr)
+		return
+	}
+	out.index.Name = canon
+	mapOuts[pa.task] = out
+	mapReports[pa.task] = rep
+	ts.committed = true
+	ts.winDur = rep.Wall
+	if pa.kind == attemptSpeculative {
+		ft.specWins++
+	}
+	ft.done++
+	if ft.done == ft.total {
+		ft.phaseDone = true
+	}
+	ft.cond.Broadcast()
+	ft.mu.Unlock()
+}
+
+// commitReduce records a reduce attempt that won the DFS rename race.
+func (ft *ftRun) commitReduce(pa pendingAttempt, outName string, rep TaskReport, outputs []string, reduceReports []TaskReport) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	ft.noteEndLocked(pa.task, pa.attempt)
+	ts := &ft.tasks[pa.task]
+	ts.committed = true
+	ts.winDur = rep.Wall
+	outputs[pa.task] = outName
+	reduceReports[pa.task] = rep
+	if pa.kind == attemptSpeculative {
+		ft.specWins++
+	}
+	ft.done++
+	if ft.done == ft.total {
+		ft.phaseDone = true
+	}
+	ft.cond.Broadcast()
+}
+
+// noteLoss records a duplicate attempt that lost the commit race.
+func (ft *ftRun) noteLoss(pa pendingAttempt) {
+	ft.mu.Lock()
+	ft.noteEndLocked(pa.task, pa.attempt)
+	ft.mu.Unlock()
+}
+
+// sweepDiskFiles removes a failed or losing attempt's surviving files
+// from a node disk. Dead-node removals are skipped silently (the disk is
+// gone with its node); other failures count as cleanup errors.
+func (ft *ftRun) sweepDiskFiles(node int, files []string) {
+	if len(files) == 0 {
+		return
+	}
+	errs := 0
+	for _, name := range files {
+		if err := ft.c.Disks[node].Remove(name); err != nil && !errors.Is(err, chaos.ErrNodeDead) {
+			errs++
+		}
+	}
+	ft.mu.Lock()
+	ft.swept++
+	ft.cleanupErrs += errs
+	ft.mu.Unlock()
+}
+
+// sweepDFSFiles removes a failed or losing reduce attempt's temp output
+// from the DFS.
+func (ft *ftRun) sweepDFSFiles(files []string) {
+	if len(files) == 0 {
+		return
+	}
+	errs := 0
+	for _, name := range files {
+		if err := ft.c.FS.Remove(name); err != nil && !errors.Is(err, chaos.ErrNodeDead) {
+			errs++
+		}
+	}
+	ft.mu.Lock()
+	ft.swept++
+	ft.cleanupErrs += errs
+	ft.mu.Unlock()
+}
+
+// snapshotMapOuts copies the map-output table under the lock, so a reduce
+// attempt's fetch set is consistent even while recovery rewrites entries.
+func (ft *ftRun) snapshotMapOuts(mapOuts []mapOutput) []mapOutput {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return append([]mapOutput(nil), mapOuts...)
+}
+
+// speculate is the per-phase straggler monitor: once a quorum of tasks
+// has committed, a task whose sole running attempt exceeds the slowdown
+// multiple of the median committed duration gets one backup attempt.
+func (ft *ftRun) speculate(stop <-chan struct{}) {
+	if !ft.job.Speculation {
+		return
+	}
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		ft.mu.Lock()
+		if ft.aborted || ft.phaseDone || ft.done == 0 ||
+			float64(ft.done) < ft.job.SpeculationQuorum*float64(ft.total) {
+			ft.mu.Unlock()
+			continue
+		}
+		durs := make([]time.Duration, 0, ft.done)
+		for i := range ft.tasks {
+			if ft.tasks[i].committed {
+				durs = append(durs, ft.tasks[i].winDur)
+			}
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		threshold := time.Duration(ft.job.SpeculationSlowdown * float64(durs[len(durs)/2]))
+		// Floor against tiny-task noise: sub-millisecond medians would
+		// speculate on scheduler jitter.
+		if threshold < 500*time.Microsecond {
+			threshold = 500 * time.Microsecond
+		}
+		now := time.Now()
+		launched := false
+		for i := range ft.tasks {
+			ts := &ft.tasks[i]
+			if ts.committed || ts.backup || len(ts.running) != 1 || now.Sub(ts.running[0].start) <= threshold {
+				continue
+			}
+			ts.backup = true
+			attemptNo := ts.nextAttempt
+			ts.nextAttempt++
+			ft.queue = append(ft.queue, pendingAttempt{task: i, attempt: attemptNo, kind: attemptSpeculative, enqueued: now})
+			ft.job.Trace.Instant(trace.KindSpeculativeLaunch, trace.LaneScheduler, ts.running[0].node, i, int64(attemptNo))
+			launched = true
+		}
+		if launched {
+			ft.cond.Broadcast()
+		}
+		ft.mu.Unlock()
+	}
+}
+
+// recoverLostMapOuts re-runs committed map tasks whose output node died
+// before every reducer fetched from it — Hadoop's "map output lost"
+// re-execution. Called from a failing reduce worker's goroutine;
+// singleflight, with rival workers waiting so their retries see the
+// recovered outputs.
+func (ft *ftRun) recoverLostMapOuts(splits []Split, mapOuts []mapOutput, mapReports []TaskReport, mapNext []int) {
+	ft.refreshDeadNodes()
+	lostLocked := func() []int {
+		var lost []int
+		for t := range mapOuts {
+			if ft.deadKnown[mapOuts[t].node] {
+				lost = append(lost, t)
+			}
+		}
+		return lost
+	}
+	ft.mu.Lock()
+	if len(lostLocked()) == 0 {
+		ft.mu.Unlock()
+		return
+	}
+	for ft.recovering {
+		ft.cond.Wait()
+	}
+	// Re-check: the recovery just finished may have covered our losses,
+	// or the job may have failed while we waited.
+	lost := lostLocked()
+	if len(lost) == 0 || ft.aborted {
+		ft.mu.Unlock()
+		return
+	}
+	ft.recovering = true
+	ft.mu.Unlock()
+
+	var ferr error
+	for _, t := range lost {
+		if err := ft.rerunMapTask(t, splits, mapOuts, mapReports, mapNext); err != nil {
+			ferr = err
+			break
+		}
+	}
+	ft.mu.Lock()
+	ft.recovering = false
+	if ferr != nil {
+		ft.failLocked(ferr)
+	}
+	ft.cond.Broadcast()
+	ft.mu.Unlock()
+}
+
+// rerunMapTask re-executes one lost map task on a live node, retrying
+// across nodes up to MaxAttempts. The old canonical output name is on a
+// dead disk, so the fresh commit rename cannot collide.
+func (ft *ftRun) rerunMapTask(t int, splits []Split, mapOuts []mapOutput, mapReports []TaskReport, mapNext []int) error {
+	kind := attemptRecovery
+	for tries := 0; tries < ft.job.MaxAttempts; tries++ {
+		node, ok := ft.pickLiveNode(t + tries)
+		if !ok {
+			return fmt.Errorf("mr: map task %d output lost to node death and no live node remains to re-run it", t)
+		}
+		ft.mu.Lock()
+		attemptNo := mapNext[t]
+		mapNext[t]++
+		ft.mapAttempts++
+		if kind == attemptRecovery {
+			ft.recovered++
+		} else {
+			ft.retries++
+		}
+		ft.mu.Unlock()
+		kind = attemptRetry
+		plan := ft.c.Chaos.Plan(node, t, attemptNo, chaos.MapSites())
+		out, rep, created, err := runMapTask(ft.c, ft.job, t, splits[t], node, 0, attemptNo, plan)
+		if err != nil {
+			ft.refreshDeadNodes()
+			ft.sweepDiskFiles(node, created)
+			ft.mu.Lock()
+			ft.failed++
+			ft.mu.Unlock()
+			continue
+		}
+		canon := canonicalMapOutName(ft.job.filePrefix, t)
+		if rerr := ft.c.Disks[node].Rename(out.index.Name, canon); rerr != nil {
+			ft.refreshDeadNodes()
+			ft.sweepDiskFiles(node, []string{out.index.Name})
+			ft.mu.Lock()
+			ft.failed++
+			ft.mu.Unlock()
+			continue
+		}
+		out.index.Name = canon
+		ft.mu.Lock()
+		mapOuts[t] = out
+		mapReports[t] = rep
+		ft.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("mr: map task %d re-run failed %d attempts after output loss", t, ft.job.MaxAttempts)
+}
+
+// pickLiveNode returns a usable node, rotating by seed so consecutive
+// recoveries spread across the cluster.
+func (ft *ftRun) pickLiveNode(seed int) (int, bool) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	n := len(ft.deadKnown)
+	for i := 0; i < n; i++ {
+		node := (seed + i) % n
+		if !ft.deadKnown[node] && !ft.blacklisted[node] {
+			return node, true
+		}
+	}
+	return 0, false
+}
+
+// fillResult copies the run's fault-tolerance accounting onto the Result.
+func (ft *ftRun) fillResult(res *Result) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	res.MapAttempts = ft.mapAttempts
+	res.ReduceAttempts = ft.reduceAttempts
+	res.TaskRetries = ft.retries
+	res.SpeculativeTasks = ft.spec
+	res.SpeculativeWins = ft.specWins
+	res.RecoveredMapTasks = ft.recovered
+	res.FailedAttempts = ft.failed
+	res.SweptAttempts = ft.swept
+	res.CleanupErrors = ft.cleanupErrs
+	if ft.c.Chaos != nil {
+		res.DeadNodes = ft.c.Chaos.DeadNodes()
+	}
+	for n, b := range ft.blacklisted {
+		if b {
+			res.BlacklistedNodes = append(res.BlacklistedNodes, n)
+		}
+	}
+	ctr := res.Agg.Counters
+	ctr[metrics.CtrMapAttempts] += int64(ft.mapAttempts)
+	ctr[metrics.CtrReduceAttempts] += int64(ft.reduceAttempts)
+	for k, v := range map[string]int{
+		metrics.CtrTaskRetries:       ft.retries,
+		metrics.CtrSpeculativeTasks:  ft.spec,
+		metrics.CtrSpeculativeWins:   ft.specWins,
+		metrics.CtrRecoveredMapTasks: ft.recovered,
+		metrics.CtrFailedAttempts:    ft.failed,
+		metrics.CtrSweptAttemptDirs:  ft.swept,
+	} {
+		if v > 0 {
+			ctr[k] += int64(v)
+		}
+	}
+	if ft.cleanupErrs > 0 {
+		ctr[metrics.CtrCleanupErrors] += int64(ft.cleanupErrs)
+	}
 }
 
 // takeSource classifies where a handed-out map task came from: its own

@@ -98,6 +98,9 @@ func WriteJSON(w io.Writer, events []Event) error {
 			if e.Bytes != 0 {
 				je.Args["bytes"] = e.Bytes
 			}
+			if e.Arg != 0 {
+				je.Args["attempt"] = e.Arg
+			}
 		}
 		data = append(data, je)
 	}

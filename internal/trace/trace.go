@@ -49,10 +49,13 @@ const (
 	KindWaitSupport              // support goroutine waiting for a spill
 
 	// Instant kinds ("i" events).
-	KindSpillHandoff  // a spill batch handed to the support goroutine
-	KindSpillDecision // spill-matcher threshold after a measurement
-	KindFreqEviction  // frequency-buffer aggregates overflowed to the spill path
-	KindWorkSteal     // scheduler gave a node another node's local task
+	KindSpillHandoff      // a spill batch handed to the support goroutine
+	KindSpillDecision     // spill-matcher threshold after a measurement
+	KindFreqEviction      // frequency-buffer aggregates overflowed to the spill path
+	KindWorkSteal         // scheduler gave a node another node's local task
+	KindTaskRetry         // a failed attempt was requeued (arg: attempt number)
+	KindNodeDeath         // the runner noticed a node died (arg: dead node)
+	KindSpeculativeLaunch // a backup attempt launched for a straggler (arg: attempt)
 
 	numKinds
 )
@@ -61,6 +64,7 @@ var kindNames = [numKinds]string{
 	"job", "map-task", "spill", "sort", "combine", "merge",
 	"shuffle-fetch", "reduce-task", "wait-map", "wait-support",
 	"spill-handoff", "spill-decision", "freq-eviction", "work-steal",
+	"task-retry", "node-death", "speculative-launch",
 }
 
 // String returns the span name used in exports.
@@ -177,16 +181,17 @@ func (t *Tracer) emit(ev Event) {
 // Span is an open span handle. The zero Span (from a nil Tracer) is a
 // valid no-op; End and EndCounts on it return immediately. It is kept
 // small (32 bytes: the start instant is nanoseconds since the tracer
-// epoch, not a time.Time) so the disabled path moves one register-sized
-// zero struct.
+// epoch, not a time.Time, and the attempt number rides in a byte of
+// padding) so the disabled path moves one register-sized zero struct.
 type Span struct {
-	tr    *Tracer
-	start int64 // ns since tr.epoch
-	kind  Kind
-	lane  Lane
-	node  int32
-	task  int32
-	slot  int32
+	tr      *Tracer
+	start   int64 // ns since tr.epoch
+	kind    Kind
+	lane    Lane
+	attempt uint8 // task attempt number, exported as the span's Arg
+	node    int32
+	task    int32
+	slot    int32
 }
 
 // Start opens a span of the given kind on (node, task, slot) for task.
@@ -197,13 +202,23 @@ func (t *Tracer) Start(kind Kind, lane Lane, node, task, slot int) Span {
 	if t == nil {
 		return Span{}
 	}
-	return t.startSpan(kind, lane, node, task, slot)
+	return t.startSpan(kind, lane, node, task, slot, 0)
+}
+
+// StartAttempt opens a task span carrying its attempt number, which the
+// export surfaces as the span's arg — retries and speculative backups of
+// one task are distinguishable on the timeline. Safe on a nil Tracer.
+func (t *Tracer) StartAttempt(kind Kind, lane Lane, node, task, slot, attempt int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return t.startSpan(kind, lane, node, task, slot, attempt)
 }
 
 // startSpan is the enabled path, out of line so Start stays inlinable.
-func (t *Tracer) startSpan(kind Kind, lane Lane, node, task, slot int) Span {
+func (t *Tracer) startSpan(kind Kind, lane Lane, node, task, slot, attempt int) Span {
 	return Span{tr: t, start: time.Since(t.epoch).Nanoseconds(), kind: kind, lane: lane,
-		node: int32(node), task: int32(task), slot: int32(slot)}
+		attempt: uint8(attempt), node: int32(node), task: int32(task), slot: int32(slot)}
 }
 
 // End closes the span with no counters.
@@ -230,6 +245,7 @@ func (s Span) endSpan(records, bytes int64) {
 		Dur:     now - s.start,
 		Records: records,
 		Bytes:   bytes,
+		Arg:     int64(s.attempt),
 		Kind:    s.kind,
 		Lane:    s.lane,
 		Node:    s.node,

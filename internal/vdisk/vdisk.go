@@ -48,8 +48,14 @@ type Disk interface {
 	OpenSection(name string, off, length int64) (io.ReadCloser, error)
 	// Size returns the size of an existing, closed file.
 	Size(name string) (int64, error)
-	// Remove deletes a file.
+	// Remove deletes a file. A file that was created but never closed is
+	// also removed (its half-written content is discarded), so failed
+	// writers can be swept.
 	Remove(name string) error
+	// Rename atomically gives an existing, closed file a new name. It
+	// fails with ErrExist when the destination already exists — the
+	// primitive behind the runtime's first-committer-wins attempt commit.
+	Rename(oldName, newName string) error
 	// Stats returns cumulative I/O accounting.
 	Stats() Stats
 }
@@ -148,10 +154,33 @@ func (m *Mem) Size(name string) (int64, error) {
 func (m *Mem) Remove(name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.open[name] {
+		// Abandoned half-written file: discard the name so it can be
+		// recreated. The dangling writer keeps appending to its own
+		// buffer, which is never published.
+		delete(m.open, name)
+		return nil
+	}
 	if _, ok := m.files[name]; !ok {
 		return fmt.Errorf("%w: %s", ErrNotExist, name)
 	}
 	delete(m.files, name)
+	return nil
+}
+
+// Rename implements Disk.
+func (m *Mem) Rename(oldName, newName string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[oldName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, oldName)
+	}
+	if _, ok := m.files[newName]; ok || m.open[newName] {
+		return fmt.Errorf("%w: %s", ErrExist, newName)
+	}
+	m.files[newName] = data
+	delete(m.files, oldName)
 	return nil
 }
 
@@ -322,6 +351,16 @@ func (t *Throttled) Size(name string) (int64, error) { return t.inner.Size(name)
 
 // Remove implements Disk.
 func (t *Throttled) Remove(name string) error { return t.inner.Remove(name) }
+
+// Rename implements Disk. Renames are metadata operations: they pay the
+// per-op seek latency but move no bytes.
+func (t *Throttled) Rename(oldName, newName string) error {
+	if err := t.inner.Rename(oldName, newName); err != nil {
+		return err
+	}
+	t.charge(0, 0, t.cfg.OpLatency)
+	return nil
+}
 
 // Stats implements Disk.
 func (t *Throttled) Stats() Stats { return t.inner.Stats() }

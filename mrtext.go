@@ -26,6 +26,7 @@ import (
 	"io"
 
 	"mrtext/internal/apps"
+	"mrtext/internal/chaos"
 	"mrtext/internal/cluster"
 	"mrtext/internal/core/spillmatch"
 	"mrtext/internal/metrics"
@@ -64,6 +65,10 @@ type (
 	Cluster = cluster.Cluster
 	// ClusterConfig sizes a cluster.
 	ClusterConfig = cluster.Config
+	// ChaosConfig configures deterministic fault injection; assign one to
+	// ClusterConfig.Chaos to exercise the runtime's fault tolerance (see
+	// internal/chaos for the site and scheduling model).
+	ChaosConfig = chaos.Config
 	// Snapshot is aggregated instrumentation (operation times, counters).
 	Snapshot = metrics.Snapshot
 	// Op is one fine-grained pipeline operation (Table I taxonomy).
