@@ -10,6 +10,10 @@
 //
 // mrbench -spillbench runs the spill-path regression harness instead
 // and writes BENCH_spillpath.json (see internal/spillpath).
+//
+// mrbench -shufflebench runs the pipelined-shuffle harness — the same
+// throttled SynText job under the serial shuffle and under copier pools
+// of fan-out 1, 2 and 4 — and writes BENCH_shuffle.json.
 package main
 
 import (
@@ -62,6 +66,10 @@ func main() {
 		spillbench = flag.Bool("spillbench", false, "run the spill-path regression harness and write -spillbench-out")
 		sbOut      = flag.String("spillbench-out", "BENCH_spillpath.json", "output file for -spillbench")
 		sbIters    = flag.Int("spillbench-iters", 5, "measurement iterations per stage for -spillbench")
+		shufbench  = flag.Bool("shufflebench", false, "run the pipelined-shuffle harness and write -shufflebench-out")
+		shbOut     = flag.String("shufflebench-out", "BENCH_shuffle.json", "output file for -shufflebench")
+		shbIters   = flag.Int("shufflebench-iters", 3, "iterations per shuffle configuration for -shufflebench")
+		shbMB      = flag.Int64("shufflebench-mb", 16, "SynText corpus size in MiB for -shufflebench")
 		traceOut   = flag.String("trace", "", "record every job run and write one Chrome/Perfetto trace to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and live expvar metrics on this address (e.g. localhost:6060)")
 	)
@@ -89,6 +97,13 @@ func main() {
 	if *spillbench {
 		if err := runSpillBench(*sbOut, *sbIters, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "mrbench: spillbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shufbench {
+		if err := runShuffleBench(*shbOut, *shbIters, *shbMB); err != nil {
+			fmt.Fprintf(os.Stderr, "mrbench: shufflebench: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"mrtext"
+)
+
+// The shuffle regression harness: the same throttled SynText job under the
+// serial shuffle and under copier pools of increasing fan-out. The cluster
+// geometry is chosen so the pipeline has something to overlap — two full
+// map waves (16 one-MiB splits over 8 map slots) on a throttled fabric —
+// and the report pins both the wall-clock effect and the staging activity
+// (early segments, spills, peak) for each fan-out.
+
+// shuffleBenchRun is one configuration's measurement in BENCH_shuffle.json.
+type shuffleBenchRun struct {
+	Config        string  `json:"config"`
+	Copiers       int     `json:"copiers"` // 0 means serial shuffle
+	WallMS        float64 `json:"wall_ms"`
+	MapWallMS     float64 `json:"map_wall_ms"`
+	ReduceWallMS  float64 `json:"reduce_wall_ms"`
+	EarlySegments int     `json:"early_segments"`
+	StagedSpills  int     `json:"staged_spills"`
+	StagingPeakB  int64   `json:"staging_peak_bytes"`
+	FetchRetries  int     `json:"fetch_retries"`
+	// ReduceSpeedup is serial reduce-wall / this config's reduce-wall;
+	// 1.0 for the serial baseline itself.
+	ReduceSpeedup float64 `json:"reduce_speedup_vs_serial"`
+}
+
+// shuffleBenchReport is the BENCH_shuffle.json schema.
+type shuffleBenchReport struct {
+	App      string            `json:"app"`
+	CorpusMB int64             `json:"corpus_mb"`
+	Nodes    int               `json:"nodes"`
+	Iters    int               `json:"iters"`
+	Runs     []shuffleBenchRun `json:"runs"`
+}
+
+// runShuffleBench measures the serial shuffle against copier fan-outs 1, 2
+// and 4 and writes the report to out. Each configuration runs iters times
+// on a fresh cluster; the iteration with the lowest wall time is reported.
+func runShuffleBench(out string, iters int, megabytes int64) error {
+	if iters < 1 {
+		iters = 1
+	}
+	const nodes = 4
+	target := megabytes << 20
+
+	type benchCfg struct {
+		name    string
+		copiers int
+	}
+	cfgs := []benchCfg{
+		{"serial", 0},
+		{"copiers-1", 1},
+		{"copiers-2", 2},
+		{"copiers-4", 4},
+	}
+
+	rep := shuffleBenchReport{App: "syntext", CorpusMB: megabytes, Nodes: nodes, Iters: iters}
+	for _, bc := range cfgs {
+		var best *mrtext.Result
+		for it := 0; it < iters; it++ {
+			res, err := runShuffleConfig(nodes, target, bc.copiers)
+			if err != nil {
+				return fmt.Errorf("%s iter %d: %w", bc.name, it, err)
+			}
+			if best == nil || res.Wall < best.Wall {
+				best = res
+			}
+		}
+		rep.Runs = append(rep.Runs, shuffleBenchRun{
+			Config:        bc.name,
+			Copiers:       bc.copiers,
+			WallMS:        float64(best.Wall.Microseconds()) / 1e3,
+			MapWallMS:     float64(best.MapWall.Microseconds()) / 1e3,
+			ReduceWallMS:  float64(best.ReduceWall.Microseconds()) / 1e3,
+			EarlySegments: best.ShuffleEarlySegments,
+			StagedSpills:  best.ShuffleStagedSpills,
+			StagingPeakB:  best.ShuffleStagingPeak,
+			FetchRetries:  best.ShuffleFetchRetries,
+		})
+	}
+	serialReduce := rep.Runs[0].ReduceWallMS
+	for i := range rep.Runs {
+		if rep.Runs[i].ReduceWallMS > 0 {
+			rep.Runs[i].ReduceSpeedup = serialReduce / rep.Runs[i].ReduceWallMS
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	for _, r := range rep.Runs {
+		fmt.Printf("%-10s wall %8.1f ms (map %8.1f, shuffle+reduce %8.1f, %.2fx) early %3d spills %3d peak %8d B\n",
+			r.Config, r.WallMS, r.MapWallMS, r.ReduceWallMS, r.ReduceSpeedup,
+			r.EarlySegments, r.StagedSpills, r.StagingPeakB)
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runShuffleConfig executes one throttled SynText job with the given
+// copier fan-out (0 = serial shuffle) on a fresh cluster.
+func runShuffleConfig(nodes int, target int64, copiers int) (*mrtext.Result, error) {
+	cfg := mrtext.LocalSmallCluster()
+	cfg.Nodes = nodes
+	cfg.BlockSize = 1 << 20 // two full map waves at 16 MiB over 8 slots
+	c, err := mrtext.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := mrtext.GenerateCorpus(c, "corpus.txt", mrtext.DefaultCorpus(), target); err != nil {
+		return nil, err
+	}
+	job := mrtext.SynText(mrtext.SynTextConfig{CPUFactor: 4, Storage: 0.8}, "corpus.txt")
+	if copiers <= 0 {
+		job.SerialShuffle = true
+	} else {
+		job.ShuffleCopiers = copiers
+	}
+	return mrtext.Run(c, job)
+}

@@ -26,6 +26,7 @@ import (
 	"mrtext/internal/analysis"
 	"mrtext/internal/analysis/attemptpath"
 	"mrtext/internal/analysis/closecheck"
+	"mrtext/internal/analysis/doccheck"
 	"mrtext/internal/analysis/droppederr"
 	"mrtext/internal/analysis/goroleak"
 	"mrtext/internal/analysis/load"
@@ -41,6 +42,15 @@ var analyzers = []*analysis.Analyzer{
 	closecheck.Analyzer,
 	spancheck.Analyzer,
 	attemptpath.Analyzer,
+	doccheck.Analyzer,
+}
+
+// docCheckedPkgs are the packages whose exported API doccheck audits: the
+// runtime's documented public surface. Other packages are exempt so
+// scratch code and experiment plumbing don't demand godoc polish.
+var docCheckedPkgs = map[string]bool{
+	"mrtext/internal/mr":   true,
+	"mrtext/internal/kvio": true,
 }
 
 func main() {
@@ -93,6 +103,9 @@ func lint(patterns []string) bool {
 		supp := analysis.NewSuppressions(fset, pkg.Files)
 		var diags []analysis.Diagnostic
 		for _, a := range analyzers {
+			if a == doccheck.Analyzer && !docCheckedPkgs[pkg.PkgPath] {
+				continue
+			}
 			pass := &analysis.Pass{
 				Analyzer:  a,
 				Fset:      fset,

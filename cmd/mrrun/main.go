@@ -40,6 +40,8 @@ func main() {
 		chaosFail = flag.Float64("chaos-fail-rate", 0, "per-attempt fault probability in [0,1] (0 disables injection)")
 		chaosKill = flag.Int("chaos-kill-node", -1, "kill this node mid-job (-1: no kill)")
 		speculate = flag.Bool("speculation", false, "launch speculative backup attempts for straggler tasks")
+		copiers   = flag.Int("shuffle-copiers", 4, "concurrent shuffle copiers per reduce partition (0 = serial shuffle at reduce start)")
+		shufBuf   = flag.Int64("shuffle-buffer", 32, "staging buffer budget per job in MiB; staged segments over budget spill to disk")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -126,6 +128,12 @@ func main() {
 	}
 	job.SpillMatcher = *spill
 	job.Speculation = *speculate
+	if *copiers <= 0 {
+		job.SerialShuffle = true
+	} else {
+		job.ShuffleCopiers = *copiers
+	}
+	job.ShuffleBufferBytes = *shufBuf << 20
 
 	var tr *mrtext.Tracer
 	if *traceOut != "" || *gantt {
@@ -142,6 +150,10 @@ func main() {
 		res.MapTasks, res.ReduceTasks)
 	fmt.Printf("placement: %d data-local, %d stolen map tasks\n",
 		res.LocalMapTasks, res.StolenMapTasks)
+	if !job.SerialShuffle {
+		fmt.Printf("shuffle: %d segments staged early, %d staged spills, staging peak %d B, %d fetch retries\n",
+			res.ShuffleEarlySegments, res.ShuffleStagedSpills, res.ShuffleStagingPeak, res.ShuffleFetchRetries)
+	}
 	if chaosOn || *speculate {
 		fmt.Printf("fault tolerance: %d/%d attempts failed, %d retries, %d speculative (%d won), %d recovered, dead nodes %v\n",
 			res.FailedAttempts, res.MapAttempts+res.ReduceAttempts, res.TaskRetries,

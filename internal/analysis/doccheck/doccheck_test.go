@@ -1,0 +1,12 @@
+package doccheck_test
+
+import (
+	"testing"
+
+	"mrtext/internal/analysis/analysistest"
+	"mrtext/internal/analysis/doccheck"
+)
+
+func TestDocCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), doccheck.Analyzer, "a")
+}

@@ -1,0 +1,55 @@
+// Package a is the doccheck golden corpus: exported names with and
+// without doc comments, in every declaration shape the analyzer handles.
+package a
+
+// Documented is a documented exported function: no finding.
+func Documented() {}
+
+func Undocumented() {} // want `exported function Undocumented is missing a doc comment`
+
+func unexported() {}
+
+// DocumentedType is a documented exported type: no finding.
+type DocumentedType struct{}
+
+type UndocumentedType struct{} // want `exported type UndocumentedType is missing a doc comment`
+
+type unexportedType struct{}
+
+// Method is documented: no finding.
+func (DocumentedType) Method() {}
+
+func (*DocumentedType) Undoc() {} // want `exported method DocumentedType.Undoc is missing a doc comment`
+
+// Methods on unexported receivers are not exported surface: no finding
+// even without a comment.
+func (unexportedType) Exported() {}
+
+func (unexportedType) helper() {}
+
+// DocumentedConst is documented on the spec: no finding.
+const DocumentedConst = 1
+
+const UndocumentedConst = 2 // want `exported const UndocumentedConst is missing a doc comment`
+
+// A documented group covers every member: no findings inside.
+const (
+	GroupedA = iota
+	GroupedB
+)
+
+const (
+	// PerSpecDoc is documented on its own spec: no finding.
+	PerSpecDoc = iota
+	BareInGroup // want `exported const BareInGroup is missing a doc comment`
+)
+
+var Exported int // want `exported var Exported is missing a doc comment`
+
+// Both vars share the group comment: no findings.
+var (
+	SharedA int
+	SharedB int
+)
+
+var unexportedVar int

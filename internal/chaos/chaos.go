@@ -358,10 +358,14 @@ func fireWindow(s Site) uint64 {
 // site trips, at a fixed operation index, plus an optional straggler
 // delay. A nil *Plan is valid and checks nothing.
 //
-// Concurrency: the per-site operation counters are not synchronized — the
-// runtime checks each site from exactly one goroutine (record-read/emit on
-// the map goroutine, spill-write/merge on the support goroutine), which is
-// the intended usage.
+// Concurrency: Check is safe to call from any number of goroutines — the
+// per-site operation counters are atomic and the single planned fault is
+// claimed by compare-and-swap, so exactly one concurrent Check observes
+// it. The pipelined shuffle relies on this: one reduce attempt's copier
+// pool checks SiteShuffleFetch from several goroutines at once, and the
+// fault count must stay deterministic (one fire per failing plan)
+// regardless of which copier happens to trip it. Delay is still called
+// once, from the attempt's own goroutine, before any concurrency starts.
 type Plan struct {
 	in      *Injector
 	node    int
@@ -369,9 +373,10 @@ type Plan struct {
 	attempt int
 	site    Site  // the site that trips, if armed
 	fireAt  int64 // operation index at which it trips
-	fail    bool
+	fail    bool  // immutable after Plan(): this attempt has a planned fault
+	fired   atomic.Bool
 	delay   time.Duration
-	count   [numSites]int64
+	count   [numSites]atomic.Int64
 }
 
 // Plan computes the fault schedule for one task attempt running on node.
@@ -423,7 +428,8 @@ func (p *Plan) Delay() time.Duration {
 
 // Check accounts one operation at site and returns an injected error when
 // the plan trips at this operation. It also surfaces node death, so task
-// code needs a single chaos check per site. Nil-safe.
+// code needs a single chaos check per site. Nil-safe and safe for
+// concurrent use; the planned fault fires exactly once.
 func (p *Plan) Check(site Site) error {
 	if p == nil {
 		return nil
@@ -431,10 +437,8 @@ func (p *Plan) Check(site Site) error {
 	if err := p.in.NodeOp(p.node); err != nil {
 		return err
 	}
-	n := p.count[site]
-	p.count[site] = n + 1
-	if p.fail && site == p.site && n == p.fireAt {
-		p.fail = false // one failure per plan
+	n := p.count[site].Add(1) - 1
+	if p.fail && site == p.site && n == p.fireAt && p.fired.CompareAndSwap(false, true) {
 		p.in.faults.Add(1)
 		p.in.record(Event{Kind: EventFault, Site: site, Node: p.node, Task: p.task, Attempt: p.attempt})
 		return fmt.Errorf("%s at op %d (task %d attempt %d node %d): %w",

@@ -36,6 +36,11 @@ type Stats struct {
 	Transfers  int64 // remote transfer operations
 	LocalBytes int64 // bytes "moved" between a node and itself (free)
 	LocalReads int64
+	// MaxInFlight is the high-water mark of concurrently in-flight remote
+	// transfers across the whole fabric — the pipelined shuffle's copier
+	// fan-out made visible (a serial shuffle never exceeds the reduce
+	// slot count; concurrent copiers push past it).
+	MaxInFlight int64
 }
 
 // NodeStats is per-NIC traffic accounting: what one node sent and
@@ -43,26 +48,43 @@ type Stats struct {
 type NodeStats struct {
 	BytesOut int64
 	BytesIn  int64
+	// MaxInFlight is the high-water mark of remote transfers this NIC was
+	// an endpoint of at one time.
+	MaxInFlight int64
 }
 
 // Fabric is the simulated interconnect. Safe for concurrent use.
 type Fabric struct {
-	cfg   Config
-	nics  []nic
-	moved atomic.Int64
-	xfers atomic.Int64
-	local atomic.Int64
-	lhits atomic.Int64
+	cfg         Config
+	nics        []nic
+	moved       atomic.Int64
+	xfers       atomic.Int64
+	local       atomic.Int64
+	lhits       atomic.Int64
+	inflight    atomic.Int64
+	maxInflight atomic.Int64
 	// hook, when installed, is consulted before every transfer; it lets
 	// the chaos layer fail transfers that touch a dead node.
 	hook atomic.Pointer[func(src, dst int) error]
 }
 
 type nic struct {
-	mu       sync.Mutex
-	nextFree time.Time
-	out      atomic.Int64
-	in       atomic.Int64
+	mu          sync.Mutex
+	nextFree    time.Time
+	out         atomic.Int64
+	in          atomic.Int64
+	inflight    atomic.Int64
+	maxInflight atomic.Int64
+}
+
+// raiseMax lifts watermark to at least cur via CAS.
+func raiseMax(watermark *atomic.Int64, cur int64) {
+	for {
+		m := watermark.Load()
+		if cur <= m || watermark.CompareAndSwap(m, cur) {
+			return
+		}
+	}
 }
 
 // New creates a fabric connecting n nodes.
@@ -107,6 +129,12 @@ func (f *Fabric) Transfer(src, dst int, n int64) error {
 	f.xfers.Add(1)
 	f.nics[src].out.Add(n)
 	f.nics[dst].in.Add(n)
+	raiseMax(&f.maxInflight, f.inflight.Add(1))
+	defer f.inflight.Add(-1)
+	raiseMax(&f.nics[src].maxInflight, f.nics[src].inflight.Add(1))
+	defer f.nics[src].inflight.Add(-1)
+	raiseMax(&f.nics[dst].maxInflight, f.nics[dst].inflight.Add(1))
+	defer f.nics[dst].inflight.Add(-1)
 	if f.cfg.BytesPerSec <= 0 && f.cfg.Latency <= 0 {
 		return nil
 	}
@@ -151,17 +179,19 @@ func (f *Fabric) NodeStats(node int) (NodeStats, error) {
 		return NodeStats{}, fmt.Errorf("fabric: node %d outside 0..%d", node, len(f.nics)-1)
 	}
 	return NodeStats{
-		BytesOut: f.nics[node].out.Load(),
-		BytesIn:  f.nics[node].in.Load(),
+		BytesOut:    f.nics[node].out.Load(),
+		BytesIn:     f.nics[node].in.Load(),
+		MaxInFlight: f.nics[node].maxInflight.Load(),
 	}, nil
 }
 
 // Stats returns cumulative accounting.
 func (f *Fabric) Stats() Stats {
 	return Stats{
-		BytesMoved: f.moved.Load(),
-		Transfers:  f.xfers.Load(),
-		LocalBytes: f.local.Load(),
-		LocalReads: f.lhits.Load(),
+		BytesMoved:  f.moved.Load(),
+		Transfers:   f.xfers.Load(),
+		LocalBytes:  f.local.Load(),
+		LocalReads:  f.lhits.Load(),
+		MaxInFlight: f.maxInflight.Load(),
 	}
 }

@@ -313,3 +313,43 @@ func TestOppositeDirectionNoDeadlock(t *testing.T) {
 		t.Errorf("transfers %d", f.Stats().Transfers)
 	}
 }
+
+// TestMaxInFlightWatermark pins the in-flight gauges: transfers that
+// overlap in time must push the fabric-wide and per-NIC high-water marks
+// past one, and a strictly serial workload must not.
+func TestMaxInFlightWatermark(t *testing.T) {
+	f, err := New(4, Config{Latency: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Transfer(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().MaxInFlight; got != 1 {
+		t.Fatalf("serial transfer: MaxInFlight = %d, want 1", got)
+	}
+
+	// Disjoint NIC pairs so the transfers genuinely overlap instead of
+	// queueing on a shared endpoint.
+	var wg sync.WaitGroup
+	for _, pair := range [][2]int{{0, 1}, {2, 3}} {
+		wg.Add(1)
+		go func(src, dst int) {
+			defer wg.Done()
+			if err := f.Transfer(src, dst, 1); err != nil {
+				t.Error(err)
+			}
+		}(pair[0], pair[1])
+	}
+	wg.Wait()
+	if got := f.Stats().MaxInFlight; got < 2 {
+		t.Fatalf("overlapping transfers: fabric MaxInFlight = %d, want >= 2", got)
+	}
+	ns, err := f.NodeStats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.MaxInFlight != 1 {
+		t.Fatalf("node 0 MaxInFlight = %d, want 1", ns.MaxInFlight)
+	}
+}

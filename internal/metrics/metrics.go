@@ -135,6 +135,17 @@ const (
 	CtrRecoveredMapTasks = "ft.recovered.map.tasks" // completed map tasks re-run after node death
 	CtrFailedAttempts    = "ft.failed.attempts"     // attempts that ended in an error
 	CtrSweptAttemptDirs  = "ft.swept.attempt.dirs"  // failed/lost attempts' temp files swept
+
+	// Pipelined-shuffle counters. The staging counters are recorded once
+	// by the job's shuffle service (not per task), so Snapshot.Merge never
+	// double-counts them.
+	CtrShuffleEarlySegments  = "shuffle.early.segments"     // segments staged before the map phase finished (map/shuffle overlap)
+	CtrShuffleStagedSegments = "shuffle.staged.segments"    // segments staged by the copier pool, in memory or on disk
+	CtrShuffleStagedBytes    = "shuffle.staged.bytes"       // raw bytes fetched into staging
+	CtrShuffleStagedSpills   = "shuffle.staged.spills"      // staged segments written to the staging node's disk (over budget)
+	CtrShuffleStagingPeak    = "shuffle.staging.peak.bytes" // high-water mark of in-memory staging occupancy
+	CtrShuffleStagedHits     = "shuffle.staged.hits"        // reduce-attempt fetches served from staging
+	CtrShuffleFetchRetries   = "shuffle.fetch.retries"      // injected shuffle-fetch faults absorbed by per-source retry
 )
 
 // TaskMetrics accumulates instrumentation for a single task attempt. It is

@@ -3,8 +3,10 @@
 // pipeline structure the paper instruments — map tasks run a map goroutine
 // and a support goroutine connected by a spill buffer; spills are sorted,
 // combined and written to node-local disk; spill runs are merge-sorted into
-// one partitioned map-output file; reducers fetch their partition of every
-// map output across the fabric, merge-sort, group and reduce.
+// one partitioned map-output file; a pipelined shuffle stages each reduce
+// partition's segments across the fabric while the map phase is still
+// running, and reducers merge-sort, group and reduce from the staged
+// copies (falling back to direct fetches for anything not staged).
 //
 // Both optimizations plug in here: a spillmatch.Controller governs each map
 // task's spill percentage, and an optional freqbuf.Buffer intercepts
@@ -171,6 +173,19 @@ type Job struct {
 	// procedures" extension. Requires Combine; ignored without one.
 	HashGroupSpills bool
 
+	// ShuffleCopiers is the per-reduce-partition copier fan-out of the
+	// pipelined shuffle (default 4): how many of a partition's segments
+	// are fetched concurrently into staging as map tasks commit.
+	ShuffleCopiers int
+	// ShuffleBufferBytes bounds the in-memory staging buffer shared by
+	// all copiers (default 32 MiB). Segments that cannot reserve space
+	// overflow to the staging node's disk.
+	ShuffleBufferBytes int64
+	// SerialShuffle disables the pipelined shuffle: every reduce attempt
+	// opens its partition's segment of every map output itself, at reduce
+	// start — the pre-pipelining behavior.
+	SerialShuffle bool
+
 	// Trace records the job's span timeline (see internal/trace). Nil
 	// falls back to the process-wide trace.Default(); when that is nil
 	// too, tracing is off and every span site reduces to a nil check.
@@ -234,6 +249,12 @@ func (j *Job) withDefaults(totalReduceSlots int) (*Job, error) {
 	}
 	if cp.SpillBufferBytes <= 0 {
 		cp.SpillBufferBytes = 4 << 20
+	}
+	if cp.ShuffleCopiers <= 0 {
+		cp.ShuffleCopiers = 4
+	}
+	if cp.ShuffleBufferBytes <= 0 {
+		cp.ShuffleBufferBytes = 32 << 20
 	}
 	if cp.StaticSpillPercent <= 0 || cp.StaticSpillPercent > 1 {
 		cp.StaticSpillPercent = spillmatch.DefaultStaticPercent
@@ -348,6 +369,19 @@ type Result struct {
 	// repeated attempt failures.
 	DeadNodes        []int
 	BlacklistedNodes []int
+
+	// Pipelined-shuffle accounting (all zero under SerialShuffle).
+	// ShuffleEarlySegments counts segments staged before the map phase
+	// finished — the map/shuffle overlap the pipeline exists to create.
+	ShuffleEarlySegments int
+	// ShuffleStagedSpills counts staged segments that overflowed the
+	// staging buffer to a staging node's disk.
+	ShuffleStagedSpills int
+	// ShuffleFetchRetries counts injected shuffle-fetch faults absorbed
+	// by per-source retry instead of failing the reduce attempt.
+	ShuffleFetchRetries int
+	// ShuffleStagingPeak is the staging buffer's high-water mark in bytes.
+	ShuffleStagingPeak int64
 }
 
 // MapIdleFraction returns the average fraction of map-task wall time the

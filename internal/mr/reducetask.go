@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"mrtext/internal/chaos"
@@ -61,6 +62,155 @@ func (s *chargedStream) flush() error {
 
 func (s *chargedStream) Close() error {
 	return errors.Join(s.flush(), s.inner.Close())
+}
+
+// countedStream wraps a staged-segment Stream: the fabric hop was already
+// charged in one piece when the segment was taken from staging, so only
+// the shuffle-volume counter accrues per record.
+type countedStream struct {
+	inner kvio.Stream
+	tm    *metrics.TaskMetrics
+}
+
+func (s *countedStream) Next() (key, value []byte, err error) {
+	k, v, err := s.inner.Next()
+	if err == nil {
+		s.tm.Inc(metrics.CtrShuffleBytes, int64(len(k)+len(v)+4))
+	}
+	return k, v, err
+}
+
+func (s *countedStream) Close() error { return s.inner.Close() }
+
+// shuffleEnv is the pipelined shuffle as a reduce attempt sees it: the
+// staging service to take segments from, plus the runner's lost-map-output
+// recovery exposed so an attempt that catches a source node's death
+// mid-fetch can refresh its snapshot and refetch instead of failing.
+type shuffleEnv struct {
+	svc        *shuffleService
+	backoff    time.Duration
+	resnapshot func() []mapOutput
+}
+
+// maxFetchRetries bounds, per source, both absorbed injected shuffle-fetch
+// faults and post-recovery refetches within one reduce attempt.
+const maxFetchRetries = 4
+
+// fetchSerial opens this partition's segment of every map output in map-
+// task order — the pre-pipelining shuffle. On error it closes whatever it
+// opened and returns the joined errors.
+func fetchSerial(c *cluster.Cluster, part, node int, plan *chaos.Plan, mapOuts []mapOutput, tm *metrics.TaskMetrics) ([]kvio.Stream, error) {
+	streams := make([]kvio.Stream, 0, len(mapOuts))
+	closeAll := func(err error) error {
+		errs := []error{err}
+		for _, os := range streams {
+			errs = append(errs, os.Close())
+		}
+		return errors.Join(errs...)
+	}
+	for _, mo := range mapOuts {
+		if err := plan.Check(chaos.SiteShuffleFetch); err != nil {
+			return nil, closeAll(err)
+		}
+		s, err := kvio.OpenRunPart(c.Disks[mo.node], mo.index, part)
+		if err != nil {
+			return nil, closeAll(err)
+		}
+		streams = append(streams, &chargedStream{inner: s, c: c, src: mo.node, dst: node, tm: tm})
+	}
+	return streams, nil
+}
+
+// fetchConcurrent is the pipelined-shuffle fetch: a pool of workers (the
+// attempt-side face of the copier fan-out) resolves every source either
+// from the staging service or by direct fetch. The resulting slice is
+// indexed by map-task position, preserving the merge's stream order — and
+// with it byte-identical output — regardless of completion order.
+func fetchConcurrent(c *cluster.Cluster, job *Job, sh *shuffleEnv, part, node int, plan *chaos.Plan, mapOuts []mapOutput, tm *metrics.TaskMetrics) ([]kvio.Stream, error) {
+	streams := make([]kvio.Stream, len(mapOuts))
+	workers := job.ShuffleCopiers
+	if workers > len(mapOuts) {
+		workers = len(mapOuts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	idxCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				st, err := fetchOne(c, sh, part, node, plan, i, mapOuts[i], tm)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				streams[i] = st
+			}
+		}()
+	}
+	for i := range mapOuts {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	if firstErr != nil {
+		errs := []error{firstErr}
+		for _, st := range streams {
+			if st != nil {
+				errs = append(errs, st.Close())
+			}
+		}
+		return nil, errors.Join(errs...)
+	}
+	return streams, nil
+}
+
+// fetchOne resolves a single source for a reduce attempt. An injected
+// fault at the fetch site is absorbed by bounded retry with the job's
+// jittered backoff — the attempt survives; only real node death reaches
+// the caller. A source node found dead triggers in-attempt lost-map-output
+// recovery and a refetch from the refreshed snapshot.
+func fetchOne(c *cluster.Cluster, sh *shuffleEnv, part, node int, plan *chaos.Plan, i int, mo mapOutput, tm *metrics.TaskMetrics) (kvio.Stream, error) {
+	for try := 0; ; try++ {
+		err := plan.Check(chaos.SiteShuffleFetch)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, chaos.ErrInjected) || try >= maxFetchRetries {
+			return nil, err
+		}
+		sh.svc.noteRetry()
+		time.Sleep(backoffFor(sh.backoff, i, try+1))
+	}
+	if st, _, ok := sh.svc.take(part, i, node); ok {
+		return &countedStream{inner: st, tm: tm}, nil
+	}
+	// Not staged (or the staging node died): direct fetch from the source
+	// disk, exactly like the serial path.
+	for try := 0; ; try++ {
+		s, err := kvio.OpenRunPart(c.Disks[mo.node], mo.index, part)
+		if err == nil {
+			return &chargedStream{inner: s, c: c, src: mo.node, dst: node, tm: tm}, nil
+		}
+		if !errors.Is(err, chaos.ErrNodeDead) || sh.resnapshot == nil || try >= maxFetchRetries {
+			return nil, err
+		}
+		snap := sh.resnapshot()
+		if i < len(snap) {
+			mo = snap[i]
+		}
+	}
 }
 
 // groupValues adapts a Merger group to the user-facing ValueIter, timing
@@ -122,14 +272,14 @@ func ReduceOutputName(prefix string, r int) string {
 }
 
 // runReduceTask executes one attempt of a reduce task: fetch this
-// partition of every map output (local reads for co-located outputs,
-// fabric transfers otherwise), merge-sort, group, apply reduce(), and
-// write the output to an attempt-scoped DFS temp file. On success the
-// attempt commits by renaming the temp to the canonical output name; the
-// DFS's fail-on-exist rename makes the first committer win, so a losing
-// duplicate attempt returns won=false with its temp left in created for
-// the runner to sweep.
-func runReduceTask(c *cluster.Cluster, job *Job, part, node, slot, attempt int, plan *chaos.Plan, mapOuts []mapOutput) (outName string, won bool, created []string, rep TaskReport, err error) {
+// partition of every map output — from the pipelined shuffle's staging
+// when sh is non-nil, direct positioned reads otherwise — merge-sort,
+// group, apply reduce(), and write the output to an attempt-scoped DFS
+// temp file. On success the attempt commits by renaming the temp to the
+// canonical output name; the DFS's fail-on-exist rename makes the first
+// committer win, so a losing duplicate attempt returns won=false with its
+// temp left in created for the runner to sweep.
+func runReduceTask(c *cluster.Cluster, job *Job, part, node, slot, attempt int, plan *chaos.Plan, sh *shuffleEnv, mapOuts []mapOutput) (outName string, won bool, created []string, rep TaskReport, err error) {
 	if plan != nil {
 		if d := plan.Delay(); d > 0 {
 			time.Sleep(d) // manufactured straggler
@@ -148,31 +298,18 @@ func runReduceTask(c *cluster.Cluster, job *Job, part, node, slot, attempt int, 
 		return "", false, created, report, fmt.Errorf("mr: reduce task %d attempt %d (node %d): %w", part, attempt, node, err)
 	}
 
-	// Shuffle: open this partition's segment of every map output.
+	// Shuffle: resolve this partition's segment of every map output.
 	shuffleStart := time.Now()
 	fetchSpan := sp.start(trace.KindShuffleFetch, trace.LaneReduce)
-	streams := make([]kvio.Stream, 0, len(mapOuts))
-	for _, mo := range mapOuts {
-		if plan != nil {
-			if err := plan.Check(chaos.SiteShuffleFetch); err != nil {
-				errs := []error{err}
-				for _, os := range streams {
-					errs = append(errs, os.Close())
-				}
-				fetchSpan.End()
-				return fail(errors.Join(errs...))
-			}
-		}
-		s, err := kvio.OpenRunPart(c.Disks[mo.node], mo.index, part)
-		if err != nil {
-			errs := []error{err}
-			for _, os := range streams {
-				errs = append(errs, os.Close())
-			}
-			fetchSpan.End()
-			return fail(errors.Join(errs...))
-		}
-		streams = append(streams, &chargedStream{inner: s, c: c, src: mo.node, dst: node, tm: tm})
+	var streams []kvio.Stream
+	if sh != nil && sh.svc != nil {
+		streams, err = fetchConcurrent(c, job, sh, part, node, plan, mapOuts, tm)
+	} else {
+		streams, err = fetchSerial(c, part, node, plan, mapOuts, tm)
+	}
+	if err != nil {
+		fetchSpan.End()
+		return fail(err)
 	}
 	merger, err := kvio.NewMerger(streams)
 	if err != nil {

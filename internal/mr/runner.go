@@ -56,6 +56,17 @@ func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 
 	ft := newFTRun(c, job)
 
+	// The pipelined shuffle stages committed map outputs as they appear,
+	// overlapping shuffle I/O with the rest of the map phase. The deferred
+	// close covers early error returns; the success path closes it
+	// explicitly before reading its counters.
+	var svc *shuffleService
+	if !job.SerialShuffle {
+		svc = newShuffleService(c, job)
+		ft.shuffle = svc
+		defer svc.close()
+	}
+
 	// ----- Map phase -----
 	mapOuts := make([]mapOutput, len(splits))
 	mapReports := make([]TaskReport, len(splits))
@@ -99,12 +110,28 @@ func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 		return nil, err
 	}
 	res.MapWall = time.Since(start)
+	svc.markMapDone()
 
 	// Recovery needs per-map-task attempt numbering to survive into the
 	// reduce phase, where lost outputs are re-run.
 	mapNext := make([]int, len(splits))
 	for i := range ft.tasks {
 		mapNext[i] = ft.tasks[i].nextAttempt
+	}
+
+	// Reduce attempts see the pipelined shuffle through shuffleEnv; the
+	// resnapshot closure lets an attempt that catches a source node death
+	// mid-fetch run lost-output recovery in place and refetch.
+	var sh *shuffleEnv
+	if svc != nil {
+		sh = &shuffleEnv{
+			svc:     svc,
+			backoff: job.RetryBackoff,
+			resnapshot: func() []mapOutput {
+				ft.recoverLostMapOuts(splits, mapOuts, mapReports, mapNext)
+				return ft.snapshotMapOuts(mapOuts)
+			},
+		}
 	}
 
 	// ----- Reduce phase -----
@@ -131,7 +158,7 @@ func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 					queueWait := time.Since(pa.enqueued)
 					plan := c.Chaos.Plan(node, pa.task, pa.attempt, chaos.ReduceSites())
 					snap := ft.snapshotMapOuts(mapOuts)
-					outName, won, created, rep, err := runReduceTask(c, job, pa.task, node, slot, pa.attempt, plan, snap)
+					outName, won, created, rep, err := runReduceTask(c, job, pa.task, node, slot, pa.attempt, plan, sh, snap)
 					rep.QueueWait = queueWait
 					if err != nil {
 						ft.sweepDFSFiles(created)
@@ -146,6 +173,7 @@ func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 						continue
 					}
 					ft.commitReduce(pa, outName, rep, outputs, reduceReports)
+					svc.release(pa.task)
 				}
 			}(node, slot)
 		}
@@ -159,6 +187,7 @@ func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 	res.ReduceWall = time.Since(reduceStart)
 	res.Wall = time.Since(start)
 	res.Outputs = outputs
+	svc.close() // flush staging before counter reads and disk cleanup
 
 	// Committed map outputs are no longer needed. Removal is best-effort
 	// cleanup: failures are counted on the job aggregate, not fatal. Dead
@@ -180,6 +209,14 @@ func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 	}
 	if res.Agg.Counters == nil {
 		res.Agg.Counters = make(map[string]int64)
+	}
+	if svc != nil {
+		res.Agg.Merge(svc.snapshot())
+		ctr := res.Agg.Counters
+		res.ShuffleEarlySegments = int(ctr[metrics.CtrShuffleEarlySegments])
+		res.ShuffleStagedSpills = int(ctr[metrics.CtrShuffleStagedSpills])
+		res.ShuffleFetchRetries = int(ctr[metrics.CtrShuffleFetchRetries])
+		res.ShuffleStagingPeak = ctr[metrics.CtrShuffleStagingPeak]
 	}
 	res.LocalMapTasks, res.StolenMapTasks = sched.placement()
 	res.Agg.Counters[metrics.CtrLocalMapTasks] += int64(res.LocalMapTasks)
@@ -255,6 +292,11 @@ type ftRun struct {
 	deadKnown     []bool
 	activeWorkers int
 	recovering    bool // a lost-map-output recovery is in flight (singleflight)
+
+	// shuffle is the pipelined-shuffle service (nil under SerialShuffle):
+	// map commits are offered to its copier pools, and the reduce-phase
+	// queue prefers handing a partition to its staging node.
+	shuffle *shuffleService
 
 	// Counters (surfaced on Result).
 	mapAttempts    int
@@ -354,8 +396,19 @@ func (ft *ftRun) next(node int) (pendingAttempt, takeSource, bool) {
 			}
 		}
 		for len(ft.queue) > 0 {
-			pa := ft.queue[0]
-			ft.queue = ft.queue[1:]
+			// Staging affinity: prefer a reduce attempt whose partition is
+			// staged on this node, so the staged hand-off is a local read.
+			idx := 0
+			if !ft.mapPhase && ft.shuffle != nil {
+				for i, pa := range ft.queue {
+					if !ft.tasks[pa.task].committed && ft.shuffle.home(pa.task) == node {
+						idx = i
+						break
+					}
+				}
+			}
+			pa := ft.queue[idx]
+			ft.queue = append(ft.queue[:idx], ft.queue[idx+1:]...)
 			if ft.tasks[pa.task].committed {
 				continue // stale: a rival attempt won while this waited
 			}
@@ -526,6 +579,7 @@ func (ft *ftRun) commitMap(pa pendingAttempt, node int, out mapOutput, rep TaskR
 	}
 	ft.cond.Broadcast()
 	ft.mu.Unlock()
+	ft.shuffle.offer(pa.task, out)
 }
 
 // commitReduce records a reduce attempt that won the DFS rename race.
@@ -750,6 +804,11 @@ func (ft *ftRun) rerunMapTask(t int, splits []Split, mapOuts []mapOutput, mapRep
 		mapOuts[t] = out
 		mapReports[t] = rep
 		ft.mu.Unlock()
+		// The recovered output is a fresh commit: re-offer it so staging
+		// can cover partitions that had not fetched the lost copy. (The
+		// per-partition dedup makes this a no-op where staging already
+		// holds the — byte-identical — old segment.)
+		ft.shuffle.offer(t, out)
 		return nil
 	}
 	return fmt.Errorf("mr: map task %d re-run failed %d attempts after output loss", t, ft.job.MaxAttempts)

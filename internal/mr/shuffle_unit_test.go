@@ -1,0 +1,323 @@
+package mr
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"mrtext/internal/chaos"
+	"mrtext/internal/cluster"
+	"mrtext/internal/kvio"
+	"mrtext/internal/metrics"
+)
+
+// --- stagingBuffer ---
+
+// TestStagingBufferBackpressure pins the budget contract: reservations
+// inside the budget succeed, a reservation that would exceed it blocks
+// until space is released, and an oversized reservation fails outright.
+func TestStagingBufferBackpressure(t *testing.T) {
+	b := newStagingBuffer(100)
+	if !b.reserve(60, 0) {
+		t.Fatal("in-budget reservation refused")
+	}
+	if b.reserve(50, 0) {
+		t.Fatal("over-budget reservation granted without waiting")
+	}
+	if b.reserve(101, -1) {
+		t.Fatal("reservation larger than the whole budget granted")
+	}
+
+	granted := make(chan bool)
+	go func() { granted <- b.reserve(50, -1) }()
+	select {
+	case <-granted:
+		t.Fatal("blocked reservation returned before space was released")
+	case <-time.After(20 * time.Millisecond):
+	}
+	b.release(60)
+	select {
+	case ok := <-granted:
+		if !ok {
+			t.Fatal("reservation failed after space was released")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reservation still blocked after release")
+	}
+	if got := b.peakBytes(); got != 60 {
+		t.Fatalf("peak = %d, want 60", got)
+	}
+}
+
+// TestStagingBufferTimeoutAndClose pins the two unblocking paths that are
+// not a release: the bounded wait expiring, and close failing all waiters.
+func TestStagingBufferTimeoutAndClose(t *testing.T) {
+	b := newStagingBuffer(10)
+	if !b.reserve(10, 0) {
+		t.Fatal("in-budget reservation refused")
+	}
+	start := time.Now()
+	if b.reserve(1, 5*time.Millisecond) {
+		t.Fatal("reservation granted with the budget exhausted")
+	}
+	if waited := time.Since(start); waited < 5*time.Millisecond {
+		t.Fatalf("bounded wait returned after %v, before its deadline", waited)
+	}
+
+	granted := make(chan bool)
+	go func() { granted <- b.reserve(1, -1) }()
+	time.Sleep(5 * time.Millisecond)
+	b.close()
+	select {
+	case ok := <-granted:
+		if ok {
+			t.Fatal("reservation granted on a closed buffer")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close did not wake the blocked reservation")
+	}
+	if b.reserve(1, 0) {
+		t.Fatal("reservation granted after close")
+	}
+}
+
+// --- shuffleService ---
+
+const (
+	unitParts = 4
+	unitMaps  = 3
+)
+
+// newUnitCluster builds a 2-node cluster, optionally chaos-wrapped.
+func newUnitCluster(t *testing.T, chaosCfg *chaos.Config) *cluster.Cluster {
+	t.Helper()
+	cfg := cluster.Fast(2)
+	cfg.Chaos = chaosCfg
+	c, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	return c
+}
+
+// writeUnitMapOuts writes unitMaps committed map outputs across the
+// cluster's disks and returns their locations. Partition p of map task m
+// holds keys "k<p>-<i>" in sorted order, except partition 2 of every
+// output, which is left empty.
+func writeUnitMapOuts(t *testing.T, c *cluster.Cluster) []mapOutput {
+	t.Helper()
+	outs := make([]mapOutput, unitMaps)
+	for m := 0; m < unitMaps; m++ {
+		node := m % c.Nodes()
+		sink, err := kvio.NewRunSink(c.Disks[node], fmt.Sprintf("unit-m%d", m), unitParts, false)
+		if err != nil {
+			t.Fatalf("sink: %v", err)
+		}
+		for p := 0; p < unitParts; p++ {
+			if p == 2 {
+				continue
+			}
+			for i := 0; i < 50; i++ {
+				k := []byte(fmt.Sprintf("k%d-%03d", p, i))
+				v := []byte(fmt.Sprintf("m%d", m))
+				if err := sink.Append(p, k, v); err != nil {
+					t.Fatalf("append: %v", err)
+				}
+			}
+		}
+		idx, err := sink.Close()
+		if err != nil {
+			t.Fatalf("close sink: %v", err)
+		}
+		outs[m] = mapOutput{node: node, index: idx}
+	}
+	return outs
+}
+
+// unitShuffleJob is the minimal job configuration the service reads.
+func unitShuffleJob(bufferBytes int64) *Job {
+	return &Job{
+		NumReducers:        unitParts,
+		ShuffleCopiers:     2,
+		ShuffleBufferBytes: bufferBytes,
+		RetryBackoff:       time.Millisecond,
+		filePrefix:         "unit",
+	}
+}
+
+// drainStream reads a stream to EOF and closes it.
+func drainStream(t *testing.T, s kvio.Stream) [][2]string {
+	t.Helper()
+	var out [][2]string
+	for {
+		k, v, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		out = append(out, [2]string{string(k), string(v)})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return out
+}
+
+// waitStagedSegments polls until the service has staged want segments.
+func waitStagedSegments(t *testing.T, svc *shuffleService, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.tm.Counter(metrics.CtrShuffleStagedSegments) < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("staged %d of %d segments before deadline",
+				svc.tm.Counter(metrics.CtrShuffleStagedSegments), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShuffleServiceStagesAndTakes offers committed map outputs to the
+// copier pools and checks that every staged segment — including empty
+// ones — decodes to exactly the records of a direct positioned read, and
+// that takes are non-destructive (a duplicate attempt can re-take).
+func TestShuffleServiceStagesAndTakes(t *testing.T) {
+	c := newUnitCluster(t, nil)
+	outs := writeUnitMapOuts(t, c)
+	svc := newShuffleService(c, unitShuffleJob(1<<20))
+	defer svc.close()
+
+	for m, out := range outs {
+		svc.offer(m, out)
+	}
+	waitStagedSegments(t, svc, unitParts*unitMaps)
+	if spills := svc.tm.Counter(metrics.CtrShuffleStagedSpills); spills != 0 {
+		t.Fatalf("%d staged segments overflowed a %d-byte budget", spills, 1<<20)
+	}
+
+	for p := 0; p < unitParts; p++ {
+		for m, out := range outs {
+			direct, err := kvio.OpenRunPart(c.Disks[out.node], out.index, p)
+			if err != nil {
+				t.Fatalf("direct open: %v", err)
+			}
+			want := drainStream(t, direct)
+			for round := 0; round < 2; round++ { // takes must not consume
+				st, _, ok := svc.take(p, m, 0)
+				if !ok {
+					t.Fatalf("part %d src %d round %d: staged segment missing", p, m, round)
+				}
+				got := drainStream(t, st)
+				if len(got) != len(want) {
+					t.Fatalf("part %d src %d: %d staged records, want %d", p, m, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("part %d src %d record %d: staged %q, direct %q", p, m, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+
+	// A released partition stops serving takes.
+	svc.release(1)
+	if _, _, ok := svc.take(1, 0, 0); ok {
+		t.Fatal("released partition still serves staged segments")
+	}
+}
+
+// TestShuffleServiceOverflowsToDisk forces every segment past a 1-byte
+// staging budget and checks the disk-backed staging path returns the same
+// records as the in-memory one.
+func TestShuffleServiceOverflowsToDisk(t *testing.T) {
+	c := newUnitCluster(t, nil)
+	outs := writeUnitMapOuts(t, c)
+	svc := newShuffleService(c, unitShuffleJob(1))
+	defer svc.close()
+
+	for m, out := range outs {
+		svc.offer(m, out)
+	}
+	waitStagedSegments(t, svc, unitParts*unitMaps)
+	// Non-empty segments cannot fit a 1-byte budget; empty partition-2
+	// segments stage in memory for free.
+	wantSpills := int64((unitParts - 1) * unitMaps)
+	if spills := svc.tm.Counter(metrics.CtrShuffleStagedSpills); spills != wantSpills {
+		t.Fatalf("staged spills = %d, want %d", spills, wantSpills)
+	}
+
+	for p := 0; p < unitParts; p++ {
+		for m, out := range outs {
+			direct, err := kvio.OpenRunPart(c.Disks[out.node], out.index, p)
+			if err != nil {
+				t.Fatalf("direct open: %v", err)
+			}
+			want := drainStream(t, direct)
+			st, _, ok := svc.take(p, m, 1)
+			if !ok {
+				t.Fatalf("part %d src %d: overflowed segment missing", p, m)
+			}
+			got := drainStream(t, st)
+			if len(got) != len(want) {
+				t.Fatalf("part %d src %d: %d staged records, want %d", p, m, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("part %d src %d record %d: staged %q, direct %q", p, m, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFetchAbsorbsInjectedFault pins the chaos contract of the pipelined
+// fetch: an injected fault at SiteShuffleFetch is absorbed by per-source
+// retry — the fetch succeeds, the fault is counted as a retry, and the
+// streams carry exactly the records a fault-free serial fetch returns.
+func TestFetchAbsorbsInjectedFault(t *testing.T) {
+	cfg := &chaos.Config{Seed: 3, FailRate: 1.0, KillNode: -1}
+	c := newUnitCluster(t, cfg)
+	outs := writeUnitMapOuts(t, c)
+	job := unitShuffleJob(1 << 20)
+	svc := newShuffleService(c, job)
+	defer svc.close()
+	sh := &shuffleEnv{svc: svc, backoff: job.RetryBackoff}
+
+	c.Chaos.Arm()
+	defer c.Chaos.Disarm()
+	const part, node = 0, 0
+	// FailRate 1 guarantees the plan carries a fault; restricting the
+	// sites to SiteShuffleFetch guarantees where it fires.
+	plan := c.Chaos.Plan(node, part, 0, []chaos.Site{chaos.SiteShuffleFetch})
+
+	tm := metrics.NewTaskMetrics()
+	streams, err := fetchConcurrent(c, job, sh, part, node, plan, outs, tm)
+	if err != nil {
+		t.Fatalf("fetch did not absorb the injected fault: %v", err)
+	}
+	if got := svc.tm.Counter(metrics.CtrShuffleFetchRetries); got != 1 {
+		t.Fatalf("absorbed fetch retries = %d, want 1", got)
+	}
+	for i, st := range streams {
+		direct, derr := kvio.OpenRunPart(c.Disks[outs[i].node], outs[i].index, part)
+		if derr != nil {
+			t.Fatalf("direct open: %v", derr)
+		}
+		want := drainStream(t, direct)
+		got := drainStream(t, st)
+		if len(got) != len(want) {
+			t.Fatalf("src %d: %d records, want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("src %d record %d: %q, want %q", i, j, got[j], want[j])
+			}
+		}
+	}
+	if stats := c.Chaos.Stats(); stats.Faults != 1 {
+		t.Fatalf("chaos fired %d faults, want exactly 1", stats.Faults)
+	}
+}

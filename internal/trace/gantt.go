@@ -24,6 +24,7 @@ var ganttGlyphs = [numKinds]byte{
 	KindCombine:      'c',
 	KindMerge:        'G',
 	KindShuffleFetch: 'f',
+	KindShuffleCopy:  'C',
 	KindReduceTask:   'r',
 	KindWaitMap:      '.',
 	KindWaitSupport:  '.',
@@ -125,5 +126,5 @@ func ganttTo(w *strings.Builder, events []Event, width int) {
 		}
 		fmt.Fprintf(w, "%-16s |%s|\n", label, row)
 	}
-	fmt.Fprintln(w, "legend: = job  m map-task  S spill  o sort  c combine  G merge  f shuffle-fetch  r reduce-task  . wait")
+	fmt.Fprintln(w, "legend: = job  m map-task  S spill  o sort  c combine  G merge  f shuffle-fetch  C shuffle-copy  r reduce-task  . wait")
 }

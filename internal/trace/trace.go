@@ -44,6 +44,7 @@ const (
 	KindCombine                  // user combine() during one spill
 	KindMerge                    // merging spill runs into the map output
 	KindShuffleFetch             // reduce side opening map-output segments
+	KindShuffleCopy              // shuffle copier staging one committed map-output segment
 	KindReduceTask               // one reduce task attempt, reduce lane
 	KindWaitMap                  // map goroutine blocked on a full spill buffer
 	KindWaitSupport              // support goroutine waiting for a spill
@@ -62,7 +63,7 @@ const (
 
 var kindNames = [numKinds]string{
 	"job", "map-task", "spill", "sort", "combine", "merge",
-	"shuffle-fetch", "reduce-task", "wait-map", "wait-support",
+	"shuffle-fetch", "shuffle-copy", "reduce-task", "wait-map", "wait-support",
 	"spill-handoff", "spill-decision", "freq-eviction", "work-steal",
 	"task-retry", "node-death", "speculative-launch",
 }
