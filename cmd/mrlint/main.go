@@ -5,25 +5,46 @@
 //
 // Usage:
 //
-//	mrlint [-vet=false] [packages...]
+//	mrlint [-vet=false] [-list] [-json] [-sarif file] [packages...]
 //
-// Packages default to ./... resolved against the current directory. The
-// custom analyzers check non-test library and binary sources; test files
-// are vet's department. A finding can be suppressed at its site with
+// Packages default to ./... resolved against the current directory, and
+// are loaded in dependency order with one shared fact store, so the
+// facts-based analyzers (alloccheck, atomiccheck) see their callees'
+// summaries before analyzing the callers — packages pulled in only as
+// dependencies of the named patterns are analyzed for their facts but not
+// reported on. The custom analyzers check non-test library and binary
+// sources; test files are vet's department.
+//
+// -list prints the analyzer suite and exits. -json replaces the plain
+// findings on stdout with a JSON array ({file, line, col, analyzer,
+// message}); -sarif writes the same findings as a SARIF 2.1.0 log to the
+// named file (in addition to stdout output) so CI can archive and ingest
+// them. Load and type-check problems never vanish into a partial run:
+// they are aggregated across all packages and printed with file positions
+// to stderr before any finding.
+//
+// A finding can be suppressed at its site with
 //
 //	//mrlint:ignore <analyzer> <reason>
 //
-// on the offending line or the line directly above it.
+// on the offending line or the line directly above it. The reason is
+// mandatory: a directive without one suppresses nothing and is itself a
+// finding.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"sort"
 
 	"mrtext/internal/analysis"
+	"mrtext/internal/analysis/alloccheck"
+	"mrtext/internal/analysis/atomiccheck"
 	"mrtext/internal/analysis/attemptpath"
 	"mrtext/internal/analysis/closecheck"
 	"mrtext/internal/analysis/doccheck"
@@ -31,6 +52,7 @@ import (
 	"mrtext/internal/analysis/goroleak"
 	"mrtext/internal/analysis/load"
 	"mrtext/internal/analysis/lockcheck"
+	"mrtext/internal/analysis/sarif"
 	"mrtext/internal/analysis/spancheck"
 )
 
@@ -43,25 +65,44 @@ var analyzers = []*analysis.Analyzer{
 	spancheck.Analyzer,
 	attemptpath.Analyzer,
 	doccheck.Analyzer,
+	alloccheck.Analyzer,
+	atomiccheck.Analyzer,
 }
 
 // docCheckedPkgs are the packages whose exported API doccheck audits: the
 // runtime's documented public surface. Other packages are exempt so
 // scratch code and experiment plumbing don't demand godoc polish.
 var docCheckedPkgs = map[string]bool{
-	"mrtext/internal/mr":   true,
-	"mrtext/internal/kvio": true,
+	"mrtext/internal/mr":       true,
+	"mrtext/internal/kvio":     true,
+	"mrtext/internal/trace":    true,
+	"mrtext/internal/chaos":    true,
+	"mrtext/internal/spillbuf": true,
+}
+
+// finding is one reportable diagnostic with its position resolved.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	vet := flag.Bool("vet", true, "also run the stock `go vet` passes")
+	list := flag.Bool("list", false, "list the analyzer suite and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array instead of plain lines")
+	sarifOut := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this `file`")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mrlint [-vet=false] [packages...]\n\nanalyzers:\n")
-		for _, a := range analyzers {
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
-		}
+		fmt.Fprintf(os.Stderr, "usage: mrlint [-vet=false] [-list] [-json] [-sarif file] [packages...]\n\nanalyzers:\n")
+		listAnalyzers(os.Stderr)
 	}
 	flag.Parse()
+	if *list {
+		listAnalyzers(os.Stdout)
+		return
+	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -78,27 +119,78 @@ func main() {
 		}
 	}
 
-	if lint(patterns) {
+	findings, loadBroken := lint(patterns)
+	if loadBroken {
 		failed = true
+	}
+	if len(findings) > 0 {
+		failed = true
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "mrlint: encoding findings: %v\n", err)
+			failed = true
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if *sarifOut != "" {
+		if err := writeSARIF(*sarifOut, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "mrlint: %v\n", err)
+			failed = true
+		}
 	}
 	if failed {
 		os.Exit(1)
 	}
 }
 
-// lint loads the packages and applies every analyzer, printing findings.
-// It reports whether anything was found.
-func lint(patterns []string) bool {
+// listAnalyzers prints the suite, one analyzer per line.
+func listAnalyzers(w *os.File) {
+	for _, a := range analyzers {
+		//mrlint:ignore droppederr best-effort terminal output, w is always stdout or stderr
+		fmt.Fprintf(w, "  %-12s %s\n", a.Name, a.Doc)
+	}
+}
+
+// lint loads the packages in dependency order and applies every analyzer
+// with one shared fact store. It returns the unsuppressed findings of the
+// listed (pattern-matched) packages, and whether load or analyzer errors
+// should fail the run independently of findings.
+func lint(patterns []string) ([]finding, bool) {
 	pkgs, fset, err := load.Packages(".", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mrlint: %v\n", err)
-		return true
+		return nil, true
 	}
 
-	found := false
+	// Aggregate load and type-check problems across all packages first:
+	// a broken package three directories away otherwise surfaces as a
+	// mystery miss of cross-package facts.
+	broken := false
 	for _, pkg := range pkgs {
+		for _, lerr := range pkg.LoadErrors {
+			fmt.Fprintf(os.Stderr, "mrlint: %s: %v\n", pkg.PkgPath, lerr)
+			broken = true
+		}
 		for _, terr := range pkg.TypeErrors {
 			fmt.Fprintf(os.Stderr, "mrlint: %s: type error (analyzing anyway): %v\n", pkg.PkgPath, terr)
+		}
+	}
+
+	facts := analysis.NewFacts()
+	var findings []finding
+	for _, pkg := range pkgs {
+		if pkg.Types == nil {
+			continue // load errors already reported above
 		}
 		supp := analysis.NewSuppressions(fset, pkg.Files)
 		var diags []analysis.Diagnostic
@@ -113,12 +205,17 @@ func lint(patterns []string) bool {
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+				Facts:     facts,
 			}
 			if err := a.Run(pass); err != nil {
 				fmt.Fprintf(os.Stderr, "mrlint: %s on %s: %v\n", a.Name, pkg.PkgPath, err)
-				found = true
+				broken = true
 			}
 		}
+		if !pkg.Listed {
+			continue // analyzed for facts only
+		}
+		diags = append(diags, supp.Malformed()...)
 		sort.Slice(diags, func(i, j int) bool {
 			if diags[i].Pos != diags[j].Pos {
 				return diags[i].Pos < diags[j].Pos
@@ -129,9 +226,49 @@ func lint(patterns []string) bool {
 			if supp.Suppressed(fset, d) {
 				continue
 			}
-			found = true
-			fmt.Printf("%s: [%s] %s\n", fset.Position(d.Pos), d.Category, d.Message)
+			findings = append(findings, toFinding(fset, d))
 		}
 	}
-	return found
+	return findings, broken
+}
+
+// toFinding resolves a diagnostic's position, preferring paths relative to
+// the working directory so output and SARIF artifacts are portable.
+func toFinding(fset *token.FileSet, d analysis.Diagnostic) finding {
+	pos := fset.Position(d.Pos)
+	file := pos.Filename
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, file); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+			file = rel
+		}
+	}
+	return finding{File: file, Line: pos.Line, Col: pos.Column, Analyzer: d.Category, Message: d.Message}
+}
+
+// writeSARIF renders findings as a SARIF 2.1.0 log at path.
+func writeSARIF(path string, findings []finding) error {
+	rules := make([]sarif.Rule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarif.Rule{ID: a.Name, ShortDescription: sarif.Message{Text: a.Doc}})
+	}
+	// Malformed suppression directives are reported under the driver's own
+	// name; give them a rule too so every result has one.
+	rules = append(rules, sarif.Rule{ID: "mrlint", ShortDescription: sarif.Message{Text: "suppression directive hygiene"}})
+
+	results := make([]sarif.Result, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarif.NewResult(f.Analyzer, f.Message, filepath.ToSlash(f.File), f.Line, f.Col))
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("writing SARIF: %v", err)
+	}
+	werr := sarif.NewLog("mrlint", rules, results).Write(out)
+	if cerr := out.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("writing SARIF: %v", werr)
+	}
+	return nil
 }

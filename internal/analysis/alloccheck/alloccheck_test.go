@@ -1,0 +1,18 @@
+package alloccheck_test
+
+import (
+	"testing"
+
+	"mrtext/internal/analysis/alloccheck"
+	"mrtext/internal/analysis/analysistest"
+)
+
+func TestAlloccheck(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), alloccheck.Analyzer, "a")
+}
+
+// TestAlloccheckCrossPackage analyzes dep then hot with a shared fact
+// store; hot's expectations only hold if dep's facts propagated.
+func TestAlloccheckCrossPackage(t *testing.T) {
+	analysistest.RunPkgs(t, analysistest.Testdata(), alloccheck.Analyzer, "dep", "hot")
+}

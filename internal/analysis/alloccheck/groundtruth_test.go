@@ -1,0 +1,133 @@
+package alloccheck_test
+
+// The ground-truth test: alloccheck's static verdict for every exported
+// fixture in allocfix is cross-checked against testing.AllocsPerRun. The
+// allocation model is documented in the package comment; this test is what
+// keeps the documentation honest when the compiler or the model moves.
+
+import (
+	"go/types"
+	"testing"
+
+	"mrtext/internal/analysis"
+	"mrtext/internal/analysis/alloccheck"
+	"mrtext/internal/analysis/alloccheck/allocfix"
+	"mrtext/internal/analysis/load"
+)
+
+const allocfixPath = "mrtext/internal/analysis/alloccheck/allocfix"
+
+// Global sinks keep fixture results live so the compiler cannot optimize
+// the measured call away.
+var (
+	gi int
+	gb []byte
+	gs string
+	ga any
+	gf func() int
+	gp []string
+	gx bool
+)
+
+// staticVerdicts runs alloccheck over allocfix (loaded exactly like the
+// mrlint driver loads real packages) and returns exported-function name →
+// allocates.
+func staticVerdicts(t *testing.T) map[string]bool {
+	t.Helper()
+	pkgs, fset, err := load.Packages(".", allocfixPath)
+	if err != nil {
+		t.Fatalf("loading allocfix: %v", err)
+	}
+	facts := analysis.NewFacts()
+	verdicts := make(map[string]bool)
+	for _, p := range pkgs {
+		if len(p.LoadErrors) > 0 || p.Types == nil {
+			t.Fatalf("allocfix did not load cleanly: %v", p.LoadErrors)
+		}
+		pass := &analysis.Pass{
+			Analyzer:  alloccheck.Analyzer,
+			Fset:      fset,
+			Files:     p.Files,
+			Pkg:       p.Types,
+			TypesInfo: p.Info,
+			Report:    func(analysis.Diagnostic) {},
+			Facts:     facts,
+		}
+		if err := alloccheck.Analyzer.Run(pass); err != nil {
+			t.Fatalf("alloccheck on %s: %v", p.PkgPath, err)
+		}
+		if p.PkgPath != allocfixPath {
+			continue
+		}
+		for _, of := range pass.AllObjectFacts() {
+			fn, ok := of.Object.(*types.Func)
+			if !ok || fn.Pkg() != p.Types || !fn.Exported() {
+				continue
+			}
+			switch of.Fact.(type) {
+			case *alloccheck.Allocates:
+				verdicts[fn.Name()] = true
+			case *alloccheck.AllocFree:
+				verdicts[fn.Name()] = false
+			}
+		}
+	}
+	return verdicts
+}
+
+func TestGroundTruth(t *testing.T) {
+	// Steady-state inputs: boxed ints ≥ 256 (below that the runtime's
+	// static box cache hides the allocation), exempt-conversion inputs
+	// ≤ 32 bytes (the compiler's stack buffer), reused buffers pre-sized.
+	key := []byte("abcdefgh")
+	data := []byte("hello,world")
+	words := map[string]int{"abcdefgh": 3}
+	buf := make([]byte, 0, 4096)
+
+	// One runtime harness per exported fixture.
+	harness := map[string]func(){
+		"SumBytes":   func() { gi = allocfix.SumBytes(data) },
+		"FindComma":  func() { gi = allocfix.FindComma(data) },
+		"CompareKey": func() { gx = allocfix.CompareKey(key, "abcdefgh") },
+		"CountWord":  func() { gi = allocfix.CountWord(words, key) },
+		"AppendKV":   func() { gb = allocfix.AppendKV(buf[:0], key, data) },
+		"Pad":        func() { gb = allocfix.Pad(buf[:0], 16) },
+		"ToString":   func() { gs = allocfix.ToString(data) },
+		"ToBytes":    func() { gb = allocfix.ToBytes("hello,world") },
+		"BoxInt":     func() { ga = allocfix.BoxInt(300) },
+		"Format":     func() { gs = allocfix.Format(12345) },
+		"Collect":    func() { gi = len(allocfix.Collect(64)) },
+		"NewCounter": func() { ga = allocfix.NewCounter() },
+		"Capture":    func() { gf = allocfix.Capture(300) },
+		"PairUp":     func() { gp = allocfix.PairUp("k", "v") },
+	}
+
+	verdicts := staticVerdicts(t)
+	if len(verdicts) != len(harness) {
+		t.Errorf("analyzer produced %d verdicts for %d fixtures — every exported fixture needs both a verdict and a harness", len(verdicts), len(harness))
+	}
+	allocating, free := 0, 0
+	for name, wantAlloc := range verdicts {
+		fn, ok := harness[name]
+		if !ok {
+			t.Errorf("fixture %s has a verdict but no runtime harness", name)
+			continue
+		}
+		if wantAlloc {
+			allocating++
+		} else {
+			free++
+		}
+		got := testing.AllocsPerRun(200, fn)
+		switch {
+		case wantAlloc && got == 0:
+			t.Errorf("%s: analyzer says allocates, AllocsPerRun measured 0", name)
+		case !wantAlloc && got != 0 && !raceEnabled:
+			t.Errorf("%s: analyzer says allocation-free, AllocsPerRun measured %v", name, got)
+		}
+	}
+	// The corpus must stay big and balanced enough to mean something.
+	if allocating < 5 || free < 5 {
+		t.Errorf("fixture corpus too thin: %d allocating, %d free (want ≥5 of each)", allocating, free)
+	}
+}

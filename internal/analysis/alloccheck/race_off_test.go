@@ -1,0 +1,8 @@
+//go:build !race
+
+package alloccheck_test
+
+// raceEnabled relaxes the alloc-free assertions of the ground-truth test:
+// the race detector's instrumentation perturbs allocation counts, so under
+// -race only the "allocating fixtures do allocate" direction is asserted.
+const raceEnabled = false

@@ -1,0 +1,71 @@
+package alloccheck
+
+// Curated standard-library knowledge. The model trusts unknown callees not
+// to allocate (the alternative — flagging every stdlib call — would bury
+// the real findings), so the functions the repo's hot paths actually meet
+// that DO allocate are listed here explicitly, and the pure predicates the
+// conversion exemption relies on are vouched for by name. Both tables are
+// deliberately small: every entry is a function someone checked against the
+// current standard library, not a guess.
+
+// allocStdlib maps "import/path.Name" of standard-library functions known
+// to allocate per call to a short reason appended to the diagnostic.
+var allocStdlib = map[string]string{
+	// bufio: the per-line convenience readers return freshly copied slices.
+	"bufio.ReadBytes":  "returns a newly allocated copy per call",
+	"bufio.ReadString": "returns a newly allocated string per call",
+
+	// bytes/strings: splitters and case-mappers build new backing arrays.
+	"bytes.Fields":    "allocates the slice of subslices",
+	"strings.Fields":  "allocates the slice of substrings",
+	"bytes.Split":     "allocates the slice of subslices",
+	"strings.Split":   "allocates the slice of substrings",
+	"bytes.Join":      "allocates the joined buffer",
+	"strings.Join":    "allocates the joined string",
+	"bytes.Repeat":    "allocates the repeated buffer",
+	"strings.Repeat":  "allocates the repeated string",
+	"bytes.Clone":     "exists to allocate a copy",
+	"strings.Clone":   "exists to allocate a copy",
+	"bytes.ToLower":   "allocates the mapped copy",
+	"strings.ToLower": "allocates the mapped copy",
+	"bytes.ToUpper":   "allocates the mapped copy",
+	"strings.ToUpper": "allocates the mapped copy",
+
+	// whole-input readers.
+	"io.ReadAll":  "buffers the entire input",
+	"os.ReadFile": "buffers the entire file",
+
+	// strconv: the formatting direction allocates its result. The parsing
+	// direction (ParseInt, Atoi) and the Append* family (which write into
+	// the caller's buffer) do not, and are deliberately absent — as is
+	// encoding/binary's Append* family the spill writers use.
+	"strconv.Itoa":      "allocates the formatted string",
+	"strconv.FormatInt": "allocates the formatted string",
+	"strconv.Quote":     "allocates the quoted string",
+}
+
+// nonEscapingStdlib names standard-library pure predicates whose parameters
+// do not escape, so a string(b) / []byte(s) conversion argument to them is
+// stack-allocated for short inputs. Only read-only predicates belong here —
+// anything that could retain its argument must stay out.
+var nonEscapingStdlib = map[string]bool{
+	"bytes.Equal":       true,
+	"strings.EqualFold": true,
+	"bytes.EqualFold":   true,
+	"bytes.Compare":     true,
+	"strings.Compare":   true,
+	"bytes.Contains":    true,
+	"strings.Contains":  true,
+	"bytes.HasPrefix":   true,
+	"strings.HasPrefix": true,
+	"bytes.HasSuffix":   true,
+	"strings.HasSuffix": true,
+	"bytes.Count":       true,
+	"strings.Count":     true,
+	"bytes.Index":       true,
+	"strings.Index":     true,
+	"bytes.IndexByte":   true,
+	"strings.IndexByte": true,
+	"bytes.LastIndex":   true,
+	"strings.LastIndex": true,
+}

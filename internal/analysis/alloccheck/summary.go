@@ -1,0 +1,821 @@
+package alloccheck
+
+// Per-function allocation summaries: a bottom-up walk over each function
+// body classifying allocating constructs, memoized across the package's
+// local call graph and exported as facts for importing packages. The same
+// site list drives both the facts (does this function allocate, and why)
+// and the diagnostics inside //mrlint:hotpath functions.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"mrtext/internal/analysis"
+)
+
+// site is one allocating construct inside a function body.
+type site struct {
+	pos  token.Pos
+	desc string // human description; for transitive calls, the callee's qualified name
+	// callee is non-nil when the site is a call to an allocating function;
+	// calleeWhy then carries the callee's chain down to the real
+	// allocation.
+	callee    *types.Func
+	calleeWhy string
+}
+
+// summary is the allocation verdict for one function.
+type summary struct {
+	sites    []site
+	escaping []int  // parameter indices that may escape
+	whyStr   string // first site, formatted with its position and chain
+}
+
+// allocates reports whether the function may heap-allocate per call.
+func (s *summary) allocates() bool { return len(s.sites) > 0 }
+
+// why returns the first offending construct with position and chain.
+func (s *summary) why() string { return s.whyStr }
+
+// analyzer carries one package's summary pass.
+type analyzer struct {
+	pass      *analysis.Pass
+	decls     map[*types.Func]*ast.FuncDecl
+	order     []*types.Func
+	summaries map[*types.Func]*summary
+	supp      *analysis.Suppressions
+}
+
+// context is the per-function-body exemption state, precomputed before
+// site collection.
+type context struct {
+	// exemptConv marks byte↔string conversions in compiler-optimized
+	// positions (map read key, comparison operand, switch tag, range
+	// expression, len/cap/delete argument, non-escaping call argument).
+	exemptConv map[*ast.CallExpr]bool
+	// exemptMake marks make calls in append's spread position — the
+	// compiler-recognized `append(s, make([]T, n)...)` extend idiom.
+	exemptMake map[*ast.CallExpr]bool
+	// lhsIndex marks index expressions that are assignment or ++/--
+	// targets; a map write's key conversion is not optimized.
+	lhsIndex map[*ast.IndexExpr]bool
+	// invoked marks immediately-called function literals, whose context
+	// never outlives the call.
+	invoked map[*ast.FuncLit]bool
+	// capOK marks variables with evident capacity: assigned from a make
+	// with an explicit capacity or from an x[:0] reslice.
+	capOK map[*types.Var]bool
+	// params holds the function's parameters (and receiver): appending to
+	// them is the caller's amortization to manage.
+	params map[*types.Var]bool
+	// paramIndex maps a parameter object to its 0-based index (receiver
+	// excluded) for the escape fact.
+	paramIndex map[*types.Var]int
+}
+
+// summarize computes (and memoizes) the summary of a function declared in
+// this package. Recursion through the local call graph is cycle-safe: a
+// function already being summarized reports as allocation-free for the
+// back edge, so self-recursive hot loops don't flag themselves.
+func (a *analyzer) summarize(obj *types.Func) *summary {
+	if s, ok := a.summaries[obj]; ok {
+		return s
+	}
+	s := &summary{}
+	a.summaries[obj] = s // placeholder breaks cycles
+	fd := a.decls[obj]
+	if fd == nil || fd.Body == nil {
+		return s
+	}
+	ctx := a.newContext(fd)
+	sig, _ := obj.Type().(*types.Signature)
+	a.walkBody(fd.Body, sig, ctx, s)
+	a.computeEscapes(fd, sig, s)
+	a.finalize(s)
+	return s
+}
+
+// finalize renders the summary's why chain from its first site.
+func (a *analyzer) finalize(s *summary) {
+	if len(s.sites) == 0 {
+		return
+	}
+	st := s.sites[0]
+	pos := a.shortPos(st.pos)
+	if st.callee != nil {
+		s.whyStr = "calls " + st.desc + " (" + pos + ") → " + st.calleeWhy
+	} else {
+		s.whyStr = st.desc + " (" + pos + ")"
+	}
+	// Cap runaway chains; the head names the hot call, the tail the root
+	// cause, everything between is navigation.
+	if len(s.whyStr) > 300 {
+		s.whyStr = s.whyStr[:300] + "…"
+	}
+}
+
+// shortPos renders pos as file.go:line.
+func (a *analyzer) shortPos(pos token.Pos) string {
+	p := a.pass.Fset.Position(pos)
+	return filepath.Base(p.Filename) + ":" + itoa(p.Line)
+}
+
+// itoa avoids strconv for a tiny positive int (keeps this file's own hot
+// loop honest).
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// add records a site unless an inline //mrlint:ignore alloccheck directive
+// suppresses it. A suppressed site is excluded from the function's
+// exported summary on purpose: the written reason vouches for the path
+// (cold branch, amortized growth), so callers of the function are not
+// flagged for it either.
+func (a *analyzer) add(s *summary, st site) {
+	if a.supp.Suppressed(a.pass.Fset, analysis.Diagnostic{Pos: st.pos, Category: "alloccheck"}) {
+		return
+	}
+	s.sites = append(s.sites, st)
+}
+
+// newContext precomputes the exemption state of one function body.
+func (a *analyzer) newContext(fd *ast.FuncDecl) *context {
+	ctx := &context{
+		exemptConv: make(map[*ast.CallExpr]bool),
+		exemptMake: make(map[*ast.CallExpr]bool),
+		lhsIndex:   make(map[*ast.IndexExpr]bool),
+		invoked:    make(map[*ast.FuncLit]bool),
+		capOK:      make(map[*types.Var]bool),
+		params:     make(map[*types.Var]bool),
+		paramIndex: make(map[*types.Var]int),
+	}
+	if obj, ok := a.pass.TypesInfo.Defs[fd.Name].(*types.Func); ok && obj != nil {
+		if sig, ok := obj.Type().(*types.Signature); ok {
+			if recv := sig.Recv(); recv != nil {
+				ctx.params[recv] = true
+			}
+			for i := 0; i < sig.Params().Len(); i++ {
+				p := sig.Params().At(i)
+				ctx.params[p] = true
+				ctx.paramIndex[p] = i
+			}
+		}
+	}
+
+	// First walk: write targets, capacity evidence, immediate invocation.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					ctx.lhsIndex[ix] = true
+				}
+			}
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+						if v, ok := a.objOf(id).(*types.Var); ok && a.capEvident(rhs) {
+							ctx.capOK[v] = true
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok {
+				ctx.lhsIndex[ix] = true
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i, rhs := range n.Values {
+					if v, ok := a.pass.TypesInfo.Defs[n.Names[i]].(*types.Var); ok && a.capEvident(rhs) {
+						ctx.capOK[v] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				ctx.invoked[lit] = true
+			}
+		}
+		return true
+	})
+
+	// Second walk: conversion contexts the compiler optimizes.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			if !ctx.lhsIndex[n] {
+				if _, ok := a.typeOf(n.X).Underlying().(*types.Map); ok {
+					a.markConvExempt(ctx, n.Index)
+				}
+			}
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+				a.markConvExempt(ctx, n.X)
+				a.markConvExempt(ctx, n.Y)
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil {
+				a.markConvExempt(ctx, n.Tag)
+			}
+		case *ast.RangeStmt:
+			a.markConvExempt(ctx, n.X)
+		case *ast.CallExpr:
+			a.markCallContexts(ctx, n)
+		}
+		return true
+	})
+	return ctx
+}
+
+// capEvident reports whether rhs evidently reuses or pre-sizes capacity: a
+// make with an explicit capacity argument, an x[:0] reslice, or an append
+// into an x[:0] reslice.
+func (a *analyzer) capEvident(rhs ast.Expr) bool {
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.CallExpr:
+		if a.builtinName(e) == "make" && len(e.Args) == 3 {
+			return true
+		}
+		if a.builtinName(e) == "append" && len(e.Args) > 0 {
+			if se, ok := ast.Unparen(e.Args[0]).(*ast.SliceExpr); ok {
+				return isZeroHigh(se)
+			}
+		}
+	case *ast.SliceExpr:
+		return isZeroHigh(e)
+	}
+	return false
+}
+
+// isZeroHigh reports whether se is an x[...:0] reslice — the buffer-reuse
+// idiom.
+func isZeroHigh(se *ast.SliceExpr) bool {
+	if se.High == nil {
+		return false
+	}
+	lit, ok := ast.Unparen(se.High).(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}
+
+// markCallContexts handles conversion exemptions granted by a call: len,
+// cap and delete arguments; make in append's spread position; and
+// arguments to functions whose corresponding parameter is known not to
+// escape.
+func (a *analyzer) markCallContexts(ctx *context, call *ast.CallExpr) {
+	switch a.builtinName(call) {
+	case "len", "cap":
+		if len(call.Args) == 1 {
+			a.markConvExempt(ctx, call.Args[0])
+		}
+		return
+	case "delete":
+		if len(call.Args) == 2 {
+			a.markConvExempt(ctx, call.Args[1])
+		}
+		return
+	case "append":
+		if call.Ellipsis.IsValid() && len(call.Args) > 0 {
+			if mk, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.CallExpr); ok && a.builtinName(mk) == "make" {
+				ctx.exemptMake[mk] = true
+			}
+		}
+		return
+	case "":
+		// not a builtin: fall through to the escape-aware argument check
+	default:
+		return
+	}
+	callee := a.staticCallee(call)
+	for i, arg := range call.Args {
+		if conv, kind := a.byteStringConv(arg); conv != nil && kind != "" {
+			if !a.paramEscapes(callee, call, i) {
+				ctx.exemptConv[conv] = true
+			}
+		}
+	}
+}
+
+// markConvExempt records e as exempt when it is a byte↔string conversion.
+func (a *analyzer) markConvExempt(ctx *context, e ast.Expr) {
+	if conv, kind := a.byteStringConv(e); conv != nil && kind != "" {
+		ctx.exemptConv[conv] = true
+	}
+}
+
+// byteStringConv returns (call, description) when e is a conversion
+// between string and []byte/[]rune (or an integer-to-string conversion),
+// the copying conversions this analyzer tracks.
+func (a *analyzer) byteStringConv(e ast.Expr) (*ast.CallExpr, string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil, ""
+	}
+	tv, ok := a.pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, ""
+	}
+	dst := tv.Type.Underlying()
+	src := a.typeOf(call.Args[0]).Underlying()
+	switch {
+	case isString(dst) && isByteOrRuneSlice(src):
+		return call, "conversion from " + types.TypeString(a.typeOf(call.Args[0]), nil) + " to string"
+	case isByteOrRuneSlice(dst) && isString(src):
+		return call, "conversion from string to " + types.TypeString(tv.Type, nil)
+	case isString(dst) && isInteger(src):
+		return call, "integer-to-string conversion"
+	}
+	return call, ""
+}
+
+// walkBody collects allocation sites in one body; sig is the enclosing
+// function's signature (for return boxing), and nested literals recurse
+// with their own.
+func (a *analyzer) walkBody(body *ast.BlockStmt, sig *types.Signature, ctx *context, s *summary) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if name, captures := a.captures(n); captures && !ctx.invoked[n] {
+				a.add(s, site{pos: n.Pos(), desc: "closure capturing " + name + " allocates its context"})
+			}
+			if lsig, ok := a.typeOf(n).(*types.Signature); ok {
+				a.walkBody(n.Body, lsig, ctx, s)
+			}
+			return false
+		case *ast.ReturnStmt:
+			a.checkReturn(n, sig, s)
+		case *ast.CallExpr:
+			a.checkCall(n, ctx, s)
+		case *ast.CompositeLit:
+			switch a.typeOf(n).Underlying().(type) {
+			case *types.Slice:
+				a.add(s, site{pos: n.Pos(), desc: "slice literal allocates"})
+			case *types.Map:
+				a.add(s, site{pos: n.Pos(), desc: "map literal allocates"})
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					a.add(s, site{pos: n.Pos(), desc: "&composite literal allocates"})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkReturn flags interface boxing of concrete returned values.
+func (a *analyzer) checkReturn(ret *ast.ReturnStmt, sig *types.Signature, s *summary) {
+	if sig == nil || len(ret.Results) != sig.Results().Len() {
+		return // naked return or multi-value call: nothing concrete to pin
+	}
+	for i, expr := range ret.Results {
+		rt := sig.Results().At(i).Type()
+		if a.boxes(expr, rt) {
+			a.add(s, site{pos: expr.Pos(), desc: "interface boxing of " + types.TypeString(a.typeOf(expr), nil) + " in return"})
+		}
+	}
+}
+
+// checkCall classifies one call expression: conversion, builtin, known
+// allocator, summarized callee, and interface boxing of arguments.
+func (a *analyzer) checkCall(call *ast.CallExpr, ctx *context, s *summary) {
+	// Conversions.
+	if tv, ok := a.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if conv, kind := a.byteStringConv(call); conv != nil && kind != "" {
+			if !ctx.exemptConv[call] {
+				a.add(s, site{pos: call.Pos(), desc: kind + " allocates"})
+			}
+			return
+		}
+		if len(call.Args) == 1 && types.IsInterface(tv.Type.Underlying()) && a.boxes(call.Args[0], tv.Type) {
+			a.add(s, site{pos: call.Pos(), desc: "interface boxing of " + types.TypeString(a.typeOf(call.Args[0]), nil)})
+		}
+		return
+	}
+
+	// Builtins.
+	switch a.builtinName(call) {
+	case "append":
+		if !a.appendExempt(call, ctx) {
+			a.add(s, site{pos: call.Pos(), desc: "append without evident capacity may grow the backing array"})
+		}
+		return
+	case "make":
+		if !ctx.exemptMake[call] {
+			a.add(s, site{pos: call.Pos(), desc: "make allocates"})
+		}
+		return
+	case "new":
+		a.add(s, site{pos: call.Pos(), desc: "new allocates"})
+		return
+	case "":
+		// not a builtin
+	default:
+		return
+	}
+
+	callee := a.staticCallee(call)
+	if callee != nil && callee.Pkg() != nil {
+		key := callee.Pkg().Path() + "." + callee.Name()
+		if callee.Pkg().Path() == "fmt" {
+			a.add(s, site{pos: call.Pos(), desc: "fmt." + callee.Name() + " call allocates (boxes through ...any and formats into a buffer)"})
+			return
+		}
+		if why, known := allocStdlib[key]; known {
+			a.add(s, site{pos: call.Pos(), desc: key + " " + why})
+			return
+		}
+		if fd, local := a.decls[callee]; local && fd != nil {
+			if sub := a.summarize(callee); sub.allocates() {
+				a.add(s, site{pos: call.Pos(), desc: qname(callee), callee: callee, calleeWhy: sub.why()})
+				return
+			}
+		} else {
+			var al Allocates
+			if a.pass.ImportObjectFact(callee, &al) {
+				a.add(s, site{pos: call.Pos(), desc: qname(callee), callee: callee, calleeWhy: al.Why})
+				return
+			}
+		}
+	}
+
+	// Interface boxing of arguments.
+	sig, ok := a.typeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(sig, i, call)
+		if pt == nil {
+			continue
+		}
+		if a.boxes(arg, pt) {
+			a.add(s, site{pos: arg.Pos(), desc: "interface boxing of " + types.TypeString(a.typeOf(arg), nil) + " argument"})
+		}
+	}
+}
+
+// paramTypeAt resolves the parameter type matching argument i, spreading
+// variadics; nil when the argument is passed through as slice... or the
+// signature cannot say.
+func paramTypeAt(sig *types.Signature, i int, call *ast.CallExpr) types.Type {
+	n := sig.Params().Len()
+	if sig.Variadic() && i >= n-1 {
+		if call.Ellipsis.IsValid() {
+			return nil // s... passes the slice itself, no boxing
+		}
+		if sl, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i < n {
+		return sig.Params().At(i).Type()
+	}
+	return nil
+}
+
+// boxes reports whether passing expr where target is expected boxes a
+// concrete value into an interface: the target is an interface, the value
+// is concrete, non-constant, non-nil, and not pointer-shaped.
+func (a *analyzer) boxes(expr ast.Expr, target types.Type) bool {
+	if target == nil || !types.IsInterface(target.Underlying()) {
+		return false
+	}
+	tv, ok := a.pass.TypesInfo.Types[ast.Unparen(expr)]
+	if !ok || tv.Type == nil || tv.Value != nil || tv.IsNil() {
+		return false
+	}
+	if types.IsInterface(tv.Type.Underlying()) {
+		return false
+	}
+	return !pointerShaped(tv.Type)
+}
+
+// pointerShaped reports whether values of t fit in one word the runtime
+// can store directly in an interface without allocating.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// appendExempt reports whether an append call's destination evidently has
+// managed capacity: a parameter, a struct-field buffer, an x[:0] reslice,
+// or a variable this function gave explicit capacity.
+func (a *analyzer) appendExempt(call *ast.CallExpr, ctx *context) bool {
+	if len(call.Args) == 0 {
+		return true
+	}
+	switch base := ast.Unparen(call.Args[0]).(type) {
+	case *ast.SelectorExpr:
+		return true // field: a reused buffer growing to its high-water mark
+	case *ast.SliceExpr:
+		return isZeroHigh(base)
+	case *ast.Ident:
+		if v, ok := a.objOf(base).(*types.Var); ok {
+			return ctx.params[v] || ctx.capOK[v]
+		}
+	}
+	return false
+}
+
+// captures reports whether lit references a variable declared outside it
+// (and inside the enclosing function), naming the first one found.
+func (a *analyzer) captures(lit *ast.FuncLit) (string, bool) {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := a.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pkg() != a.pass.Pkg {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == a.pass.Pkg.Scope() {
+			return true // package-level: accessed, not captured
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			name = v.Name()
+		}
+		return true
+	})
+	return name, name != ""
+}
+
+// staticCallee resolves the concrete *types.Func a call statically targets:
+// a top-level function, a method on a concrete receiver, or a
+// package-qualified function. Calls through interfaces or func values
+// return nil.
+func (a *analyzer) staticCallee(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := a.pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := a.pass.TypesInfo.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				if types.IsInterface(sel.Recv().Underlying()) {
+					return nil // dynamic dispatch: no static target
+				}
+				return f
+			}
+			return nil
+		}
+		if f, ok := a.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// paramEscapes reports whether callee's i'th parameter may escape: by
+// local summary, imported fact, curated stdlib knowledge, or — for
+// unknown callees — conservatively yes.
+func (a *analyzer) paramEscapes(callee *types.Func, call *ast.CallExpr, i int) bool {
+	if callee == nil {
+		return true
+	}
+	if fd, local := a.decls[callee]; local && fd != nil {
+		sub := a.summarize(callee)
+		for _, idx := range sub.escaping {
+			if idx == i {
+				return true
+			}
+		}
+		return false
+	}
+	var esc EscapesParams
+	if a.pass.ImportObjectFact(callee, &esc) {
+		for _, idx := range esc.Escaping {
+			if idx == i {
+				return true
+			}
+		}
+		return false
+	}
+	// Analyzed (any allocation fact present) but no escape fact means no
+	// parameter escapes.
+	var al Allocates
+	var af AllocFree
+	if a.pass.ImportObjectFact(callee, &al) || a.pass.ImportObjectFact(callee, &af) {
+		return false
+	}
+	if callee.Pkg() != nil {
+		if nonEscapingStdlib[callee.Pkg().Path()+"."+callee.Name()] {
+			return false
+		}
+	}
+	return true
+}
+
+// computeEscapes fills s.escaping with the parameters that may escape.
+func (a *analyzer) computeEscapes(fd *ast.FuncDecl, sig *types.Signature, s *summary) {
+	if sig == nil || sig.Params().Len() == 0 || fd.Body == nil {
+		return
+	}
+	index := make(map[*types.Var]int, sig.Params().Len())
+	for i := 0; i < sig.Params().Len(); i++ {
+		index[sig.Params().At(i)] = i
+	}
+	escaped := make(map[int]bool)
+
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := a.pass.TypesInfo.Uses[id].(*types.Var); ok {
+				if i, isParam := index[v]; isParam && !escaped[i] && a.escapesAt(stack, id) {
+					escaped[i] = true
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	for i := 0; i < sig.Params().Len(); i++ {
+		if escaped[i] {
+			s.escaping = append(s.escaping, i)
+		}
+	}
+}
+
+// escapesAt decides whether the use of id, with the given ancestor stack,
+// lets the value escape to the heap. The default for unrecognized storing
+// contexts is "escapes" — the exemptions this feeds must be sound.
+func (a *analyzer) escapesAt(stack []ast.Node, id *ast.Ident) bool {
+	// Captured by any enclosing function literal ⇒ escapes with it.
+	for _, anc := range stack {
+		if _, ok := anc.(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	child := ast.Node(id)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			child = p
+			continue
+		case *ast.SelectorExpr:
+			if p.X == child {
+				child = p // reading a field/method of the param
+				continue
+			}
+			return false // the param is the selected name, not the base
+		case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt, *ast.GoStmt, *ast.DeferStmt:
+			return true
+		case *ast.UnaryExpr:
+			return p.Op == token.AND
+		case *ast.StarExpr:
+			child = p
+			continue
+		case *ast.BinaryExpr, *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt,
+			*ast.CaseClause, *ast.SliceExpr, *ast.RangeStmt, *ast.IncDecStmt, *ast.ExprStmt,
+			*ast.BlockStmt, *ast.DeclStmt, *ast.TypeAssertExpr:
+			return false
+		case *ast.IndexExpr:
+			child = p // read through an index; a write is an AssignStmt LHS
+			continue
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if ast.Unparen(lhs) == child {
+					return false // the param is being written, not stored
+				}
+			}
+			// Param on the RHS: storing into anything but a plain local
+			// variable escapes.
+			for _, lhs := range p.Lhs {
+				if _, ok := ast.Unparen(lhs).(*ast.Ident); !ok {
+					return true
+				}
+			}
+			return false
+		case *ast.ValueSpec:
+			return false // var x = p: a local copy
+		case *ast.CallExpr:
+			return a.argEscapes(p, child)
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// argEscapes decides escape for a value used inside a call expression.
+func (a *analyzer) argEscapes(call *ast.CallExpr, child ast.Node) bool {
+	if call.Fun == child {
+		return false // calling a func-typed param does not store it
+	}
+	switch a.builtinName(call) {
+	case "len", "cap", "copy", "delete", "clear", "min", "max":
+		return false
+	case "append":
+		// append(dst, p): p is stored into dst. append(p, ...) grows a
+		// copy; the param's own array is only written through.
+		return len(call.Args) > 0 && ast.Unparen(call.Args[0]) != child
+	case "":
+		// not a builtin
+	default:
+		return true
+	}
+	callee := a.staticCallee(call)
+	for i, arg := range call.Args {
+		if ast.Unparen(arg) == child {
+			return a.paramEscapes(callee, call, i)
+		}
+	}
+	return true // nested deeper inside an argument expression: give up
+}
+
+// builtinName returns the name of the builtin a call invokes, or "".
+func (a *analyzer) builtinName(call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := a.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// objOf resolves an identifier's object through Uses then Defs.
+func (a *analyzer) objOf(id *ast.Ident) types.Object {
+	if o := a.pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return a.pass.TypesInfo.Defs[id]
+}
+
+// typeOf returns the static type of e, or types.Typ[types.Invalid].
+func (a *analyzer) typeOf(e ast.Expr) types.Type {
+	if tv, ok := a.pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}
+
+// qname renders pkg.Func or pkg.Type.Method for diagnostics.
+func qname(f *types.Func) string {
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+			return n.Obj().Pkg().Name() + "." + n.Obj().Name() + "." + f.Name()
+		}
+	}
+	if f.Pkg() != nil {
+		return f.Pkg().Name() + "." + f.Name()
+	}
+	return f.Name()
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isInteger reports whether t's underlying type is an integer.
+func isInteger(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isByteOrRuneSlice reports whether t is []byte or []rune.
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}

@@ -1,0 +1,189 @@
+// Package a is the single-package golden corpus for alloccheck: every
+// construct class in the allocation model appears once in a hot function
+// (expecting a diagnostic) and once in an exempt form (expecting none).
+package a
+
+import (
+	"bytes"
+	"fmt"
+)
+
+type pair struct{ k, v int }
+
+// helper allocates; hot callers are flagged at the call site.
+func helper() []int {
+	return []int{1, 2, 3}
+}
+
+// scratch's one allocation carries a reasoned suppression, so the function
+// summarizes as allocation-free and hot callers stay clean.
+func scratch() []byte {
+	//mrlint:ignore alloccheck cold setup path, sized once per run
+	return make([]byte, 64)
+}
+
+// look's parameter does not escape, so conversions feeding it are free.
+func look(s string) bool { return len(s) > 3 }
+
+// retain's parameter escapes through the return.
+func retain(s string) string { return s }
+
+// hotCalls exercises transitive local reporting and suppression vouching.
+//
+//mrlint:hotpath
+func hotCalls() {
+	_ = helper() // want `hot path: call to a\.helper allocates: slice literal allocates \(a\.go:\d+\)`
+	_ = scratch()
+}
+
+// hotArgs exercises escape-aware conversion exemption at call arguments.
+//
+//mrlint:hotpath
+func hotArgs(b []byte) {
+	_ = look(string(b))
+	_ = retain(string(b)) // want `hot path: conversion from \[\]byte to string allocates`
+}
+
+// hotStd exercises the curated stdlib tables.
+//
+//mrlint:hotpath
+func hotStd(b []byte, s string) bool {
+	return bytes.Equal(b, []byte(s))
+}
+
+// hotFields calls a known-allocating stdlib function.
+//
+//mrlint:hotpath
+func hotFields(b []byte) [][]byte {
+	return bytes.Fields(b) // want `hot path: bytes\.Fields allocates the slice of subslices`
+}
+
+// hotFmt: all fmt calls allocate.
+//
+//mrlint:hotpath
+func hotFmt(n int) string {
+	return fmt.Sprintf("%d", n) // want `hot path: fmt\.Sprintf call allocates`
+}
+
+// hotBox boxes a concrete int into an interface return.
+//
+//mrlint:hotpath
+func hotBox(n int) any {
+	return n // want `hot path: interface boxing of int in return`
+}
+
+func sink(v any) { _ = v }
+
+// hotSink exercises boxing at call sites: variables box, constants and
+// pointer-shaped values do not.
+//
+//mrlint:hotpath
+func hotSink(n int) {
+	sink(n) // want `hot path: interface boxing of int argument`
+	sink(42)
+	sink(&n)
+}
+
+// hotLits: composite literals, make and new.
+//
+//mrlint:hotpath
+func hotLits() {
+	_ = []int{1}         // want `hot path: slice literal allocates`
+	_ = map[string]int{} // want `hot path: map literal allocates`
+	_ = &pair{}          // want `hot path: &composite literal allocates`
+	_ = make([]byte, 8)  // want `hot path: make allocates`
+	_ = new(int)         // want `hot path: new allocates`
+}
+
+// hotAppendBad grows a capacity-less local.
+//
+//mrlint:hotpath
+func hotAppendBad(b byte) {
+	var local []byte
+	local = append(local, b) // want `hot path: append without evident capacity may grow the backing array`
+	_ = local
+}
+
+// hotAppendOK: parameter destinations, [:0] reslices and the make-spread
+// extend idiom are all exempt.
+//
+//mrlint:hotpath
+func hotAppendOK(dst []byte, b byte) []byte {
+	dst = append(dst, b)
+	dst = append(dst[:0], b)
+	return append(dst, make([]byte, 4)...)
+}
+
+// hotReuse amortizes one reasoned allocation across the loop.
+//
+//mrlint:hotpath
+func hotReuse(n int, b byte) int {
+	//mrlint:ignore alloccheck buffer sized once per call, outside the measured loop
+	buf := make([]byte, 0, n)
+	for i := 0; i < n; i++ {
+		buf = append(buf, b)
+	}
+	return len(buf)
+}
+
+// hotClosure returns a capturing closure.
+//
+//mrlint:hotpath
+func hotClosure(n int) func() int {
+	return func() int { return n } // want `hot path: closure capturing n allocates its context`
+}
+
+// hotIIFE: an immediately invoked literal never outlives the call.
+//
+//mrlint:hotpath
+func hotIIFE(n int) int {
+	total := 0
+	func() { total += n }()
+	return total
+}
+
+// hotExempt: every compiler-optimized conversion context in one place.
+//
+//mrlint:hotpath
+func hotExempt(m map[string]int, b []byte, s string) int {
+	n := m[string(b)]
+	if string(b) == s {
+		n++
+	}
+	switch string(b) {
+	case "x":
+		n++
+	}
+	for range string(b) {
+		n++
+	}
+	n += len(string(b))
+	delete(m, string(b))
+	return n
+}
+
+// hotConvBad: map writes are not the optimized direction, and escaping
+// conversions copy.
+//
+//mrlint:hotpath
+func hotConvBad(m map[string]int, b []byte) string {
+	m[string(b)] = 1 // want `hot path: conversion from \[\]byte to string allocates`
+	m[string(b)]++   // want `hot path: conversion from \[\]byte to string allocates`
+	return string(b) // want `hot path: conversion from \[\]byte to string allocates`
+}
+
+// hotToBytes: the other copying direction.
+//
+//mrlint:hotpath
+func hotToBytes(s string) []byte {
+	return []byte(s) // want `hot path: conversion from string to \[\]byte allocates`
+}
+
+type closer interface{ close() }
+
+// hotIface: dynamic dispatch is trusted clean by the model.
+//
+//mrlint:hotpath
+func hotIface(c closer) {
+	c.close()
+}

@@ -1,0 +1,28 @@
+// Package dep is the defining side of the cross-package golden test: its
+// allocation and escape facts must reach package hot through the shared
+// fact store, never by re-analyzing this source.
+package dep
+
+// Scratch allocates a fresh buffer per call.
+func Scratch() []byte {
+	return make([]byte, 64)
+}
+
+// Wrap allocates through an escaping conversion.
+func Wrap(b []byte) string {
+	return string(b)
+}
+
+// Sum is allocation-free and its parameter does not escape.
+func Sum(b []byte) int {
+	n := 0
+	for _, c := range b {
+		n += int(c)
+	}
+	return n
+}
+
+// Keep is allocation-free but its parameter escapes via the return.
+func Keep(s string) string {
+	return s
+}

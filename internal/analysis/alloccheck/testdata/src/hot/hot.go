@@ -1,0 +1,37 @@
+// Package hot imports dep and exercises fact propagation: the diagnostics
+// below depend entirely on Allocates / AllocFree / EscapesParams facts
+// exported while the analyzer ran on dep.
+package hot
+
+import "dep"
+
+// fill calls an allocating function from another package; the chain in the
+// message names the root cause inside dep.
+//
+//mrlint:hotpath
+func fill(dst []byte) []byte {
+	return append(dst, dep.Scratch()...) // want `hot path: call to dep\.Scratch allocates: make allocates \(dep\.go:\d+\)`
+}
+
+// wrap picks up a transitive conversion verdict.
+//
+//mrlint:hotpath
+func wrap(b []byte) string {
+	return dep.Wrap(b) // want `hot path: call to dep\.Wrap allocates: conversion from \[\]byte to string allocates \(dep\.go:\d+\)`
+}
+
+// probe: dep.Sum is alloc-free with a non-escaping parameter, so both the
+// call and the conversion feeding it are clean.
+//
+//mrlint:hotpath
+func probe(s string) int {
+	return dep.Sum([]byte(s))
+}
+
+// retain: dep.Keep's parameter escapes (EscapesParams fact), so the same
+// conversion shape is flagged here.
+//
+//mrlint:hotpath
+func retain(b []byte) {
+	_ = dep.Keep(string(b)) // want `hot path: conversion from \[\]byte to string allocates`
+}

@@ -1,0 +1,121 @@
+// Package atomiccheck flags struct fields that are accessed through
+// sync/atomic in one place and with a plain load or store in another —
+// the mixed-access pattern that silently downgrades an atomic protocol
+// into a data race. The repo's own counters use the typed atomic.Int64
+// family precisely to make this impossible; this analyzer covers the code
+// (and future code) that reaches for the raw atomic functions instead.
+//
+// It is the second consumer of the facts machinery: analyzing the package
+// that declares a struct and calls atomic.AddInt64(&s.n, 1) exports an
+// AtomicallyAccessed fact on the field object, and a plain s.n read in any
+// importing package is reported against that fact — same schedule, same
+// store, same object identity as alloccheck. Facts flow with imports only:
+// a plain access compiled before the atomic one is declared (in a package
+// the declaring one does not import) is out of reach, as in x/tools.
+package atomiccheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mrtext/internal/analysis"
+)
+
+// AtomicallyAccessed is the fact exported on every struct field some
+// analyzed package passes to a sync/atomic function.
+type AtomicallyAccessed struct{}
+
+// AFact marks AtomicallyAccessed as a fact type.
+func (*AtomicallyAccessed) AFact() {}
+
+// Analyzer is the atomiccheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name:      "atomiccheck",
+	Doc:       "flags plain accesses to struct fields that are accessed with sync/atomic elsewhere, across packages via facts",
+	FactTypes: []analysis.Fact{new(AtomicallyAccessed)},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: find every &x.f argument to a sync/atomic call. The field is
+	// marked (locally and as a fact), and that selector expression itself
+	// is remembered so pass 2 does not report the atomic site as a plain
+	// access.
+	marked := make(map[*types.Var]bool)
+	atomicSite := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					continue
+				}
+				se, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fld := fieldOf(pass, se); fld != nil {
+					atomicSite[se] = true
+					if !marked[fld] {
+						marked[fld] = true
+						pass.ExportObjectFact(fld, &AtomicallyAccessed{})
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: report every other access to a marked field — marked in this
+	// package or, via the fact store, in any package this one imports.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			se, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSite[se] {
+				return true
+			}
+			fld := fieldOf(pass, se)
+			if fld == nil {
+				return true
+			}
+			var fact AtomicallyAccessed
+			if marked[fld] || pass.ImportObjectFact(fld, &fact) {
+				pass.Reportf(se.Pos(), "field %s is accessed with sync/atomic elsewhere; this plain access mixes atomic and non-atomic use", fld.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call statically targets a sync/atomic
+// package function.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldOf resolves se to the struct field it selects, or nil.
+func fieldOf(pass *analysis.Pass, se *ast.SelectorExpr) *types.Var {
+	sel, ok := pass.TypesInfo.Selections[se]
+	if !ok || sel.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := sel.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}

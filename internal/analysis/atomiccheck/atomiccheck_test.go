@@ -1,0 +1,18 @@
+package atomiccheck_test
+
+import (
+	"testing"
+
+	"mrtext/internal/analysis/analysistest"
+	"mrtext/internal/analysis/atomiccheck"
+)
+
+func TestAtomiccheck(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), atomiccheck.Analyzer, "a")
+}
+
+// TestAtomiccheckCrossPackage: the plain access in use is flagged only via
+// the fact exported while analyzing decl.
+func TestAtomiccheckCrossPackage(t *testing.T) {
+	analysistest.RunPkgs(t, analysistest.Testdata(), atomiccheck.Analyzer, "decl", "use")
+}

@@ -1,0 +1,27 @@
+// Package a is the single-package golden corpus for atomiccheck.
+package a
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64 // accessed atomically and plainly: every plain access flagged
+	misses int64 // accessed only plainly: never flagged
+}
+
+func bump(s *stats) {
+	atomic.AddInt64(&s.hits, 1)
+	s.misses++
+}
+
+func read(s *stats) int64 {
+	return s.hits // want `field hits is accessed with sync/atomic elsewhere; this plain access mixes atomic and non-atomic use`
+}
+
+func write(s *stats) {
+	s.hits = 0 // want `field hits is accessed with sync/atomic elsewhere`
+	_ = s.misses
+}
+
+func readAtomically(s *stats) int64 {
+	return atomic.LoadInt64(&s.hits) // consistent: no finding
+}

@@ -1,0 +1,15 @@
+// Package decl declares a counter whose field is maintained with
+// sync/atomic; the AtomicallyAccessed fact exported here must reach
+// package use through the fact store.
+package decl
+
+import "sync/atomic"
+
+type Counter struct {
+	N int64
+}
+
+// Inc is the atomic side of the protocol.
+func Inc(c *Counter) {
+	atomic.AddInt64(&c.N, 1)
+}

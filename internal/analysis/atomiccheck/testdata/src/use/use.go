@@ -1,0 +1,9 @@
+// Package use reads decl's counter plainly; the diagnostic depends
+// entirely on the fact exported while analyzing decl.
+package use
+
+import "decl"
+
+func Peek(c *decl.Counter) int64 {
+	return c.N // want `field N is accessed with sync/atomic elsewhere; this plain access mixes atomic and non-atomic use`
+}

@@ -1,0 +1,5 @@
+// Package p has a syntax error; the loader must aggregate it instead of
+// aborting the run.
+package p
+
+func (

@@ -1,0 +1,6 @@
+// Package q is clean; it must still be analyzed when a sibling fails to
+// parse.
+package q
+
+// Q returns a constant.
+func Q() int { return 42 }

@@ -1,0 +1,5 @@
+// Package a is the leaf of the fixture DAG.
+package a
+
+// A returns a constant.
+func A() int { return 1 }

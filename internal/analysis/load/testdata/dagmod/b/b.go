@@ -1,0 +1,7 @@
+// Package b imports a.
+package b
+
+import "example.com/dagmod/a"
+
+// B calls into the leaf.
+func B() int { return a.A() }

@@ -1,0 +1,10 @@
+// Package c imports both a and b — the diamond top.
+package c
+
+import (
+	"example.com/dagmod/a"
+	"example.com/dagmod/b"
+)
+
+// C combines both dependencies.
+func C() int { return a.A() + b.B() }

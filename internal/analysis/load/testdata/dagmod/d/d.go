@@ -1,0 +1,7 @@
+// Package d imports only the leaf.
+package d
+
+import "example.com/dagmod/a"
+
+// D doubles the leaf value.
+func D() int { return 2 * a.A() }

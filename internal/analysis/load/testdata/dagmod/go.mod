@@ -1,0 +1,3 @@
+module example.com/dagmod
+
+go 1.22

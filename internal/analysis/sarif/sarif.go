@@ -1,0 +1,126 @@
+// Package sarif renders mrlint findings as a minimal SARIF 2.1.0 log —
+// the Static Analysis Results Interchange Format GitHub code scanning and
+// most CI dashboards ingest. Only the slice of the (large) SARIF schema
+// that carries mrlint's information is modeled: one run, one tool driver
+// with a rule per analyzer, and one result per finding with a physical
+// location. Everything here marshals with encoding/json; the structural
+// test in this package pins the shape consumers depend on.
+package sarif
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SchemaURI is the published SARIF 2.1.0 JSON schema location.
+const SchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+// Version is the SARIF spec version this package emits.
+const Version = "2.1.0"
+
+// Log is the top-level SARIF document.
+type Log struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []Run  `json:"runs"`
+}
+
+// Run is one invocation of one tool.
+type Run struct {
+	Tool    Tool     `json:"tool"`
+	Results []Result `json:"results"`
+}
+
+// Tool wraps the driver description.
+type Tool struct {
+	Driver Driver `json:"driver"`
+}
+
+// Driver identifies the tool and declares its rules.
+type Driver struct {
+	Name           string `json:"name"`
+	InformationURI string `json:"informationUri,omitempty"`
+	Rules          []Rule `json:"rules"`
+}
+
+// Rule describes one analyzer.
+type Rule struct {
+	ID               string  `json:"id"`
+	ShortDescription Message `json:"shortDescription"`
+}
+
+// Message is SARIF's text wrapper.
+type Message struct {
+	Text string `json:"text"`
+}
+
+// Result is one finding.
+type Result struct {
+	RuleID    string     `json:"ruleId"`
+	Level     string     `json:"level"`
+	Message   Message    `json:"message"`
+	Locations []Location `json:"locations"`
+}
+
+// Location wraps a physical location.
+type Location struct {
+	PhysicalLocation PhysicalLocation `json:"physicalLocation"`
+}
+
+// PhysicalLocation is a file position.
+type PhysicalLocation struct {
+	ArtifactLocation ArtifactLocation `json:"artifactLocation"`
+	Region           Region           `json:"region"`
+}
+
+// ArtifactLocation names the file.
+type ArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// Region is the position inside the file.
+type Region struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// NewLog assembles a single-run log for the named tool.
+func NewLog(tool string, rules []Rule, results []Result) *Log {
+	// SARIF requires both properties even when empty.
+	if rules == nil {
+		rules = []Rule{}
+	}
+	if results == nil {
+		results = []Result{}
+	}
+	return &Log{
+		Schema:  SchemaURI,
+		Version: Version,
+		Runs: []Run{{
+			Tool:    Tool{Driver: Driver{Name: tool, Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+// NewResult builds one warning-level result at file:line:col.
+func NewResult(rule, message, file string, line, col int) Result {
+	return Result{
+		RuleID:  rule,
+		Level:   "warning",
+		Message: Message{Text: message},
+		Locations: []Location{{
+			PhysicalLocation: PhysicalLocation{
+				ArtifactLocation: ArtifactLocation{URI: file},
+				Region:           Region{StartLine: line, StartColumn: col},
+			},
+		}},
+	}
+}
+
+// Write marshals the log, indented, to w.
+func (l *Log) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l)
+}

@@ -1,0 +1,111 @@
+package sarif_test
+
+// The structural test: the emitted document is decoded back through
+// generic JSON (not this package's own structs) and checked against the
+// SARIF 2.1.0 shape consumers navigate — runs[0].tool.driver.rules and
+// results[*].ruleId/message/locations[0].physicalLocation.{artifactLocation,region}.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mrtext/internal/analysis/sarif"
+)
+
+// dig walks nested maps/arrays by string key or integer index.
+func dig(t *testing.T, v any, path ...any) any {
+	t.Helper()
+	for _, step := range path {
+		switch s := step.(type) {
+		case string:
+			m, ok := v.(map[string]any)
+			if !ok {
+				t.Fatalf("sarif: expected object at %v, got %T", step, v)
+			}
+			v, ok = m[s]
+			if !ok {
+				t.Fatalf("sarif: missing property %q", s)
+			}
+		case int:
+			a, ok := v.([]any)
+			if !ok || s >= len(a) {
+				t.Fatalf("sarif: expected array with index %d, got %T (len issue?)", s, v)
+			}
+			v = a[s]
+		}
+	}
+	return v
+}
+
+func TestLogShape(t *testing.T) {
+	log := sarif.NewLog("mrlint",
+		[]sarif.Rule{
+			{ID: "alloccheck", ShortDescription: sarif.Message{Text: "flags allocations on the hot path"}},
+			{ID: "atomiccheck", ShortDescription: sarif.Message{Text: "flags mixed atomic access"}},
+		},
+		[]sarif.Result{
+			sarif.NewResult("alloccheck", "hot path: make allocates", "internal/kvio/packed.go", 42, 7),
+		},
+	)
+
+	var buf bytes.Buffer
+	if err := log.Write(&buf); err != nil {
+		t.Fatalf("writing log: %v", err)
+	}
+	var doc any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted SARIF is not valid JSON: %v", err)
+	}
+
+	if got := dig(t, doc, "version"); got != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", got)
+	}
+	if got := dig(t, doc, "$schema"); got != sarif.SchemaURI {
+		t.Errorf("$schema = %v, want %v", got, sarif.SchemaURI)
+	}
+	if got := dig(t, doc, "runs", 0, "tool", "driver", "name"); got != "mrlint" {
+		t.Errorf("driver name = %v, want mrlint", got)
+	}
+	if got := dig(t, doc, "runs", 0, "tool", "driver", "rules", 0, "id"); got != "alloccheck" {
+		t.Errorf("first rule id = %v, want alloccheck", got)
+	}
+	if got := dig(t, doc, "runs", 0, "tool", "driver", "rules", 1, "shortDescription", "text"); got == "" {
+		t.Error("rule shortDescription.text must be non-empty")
+	}
+
+	res := dig(t, doc, "runs", 0, "results", 0)
+	if got := dig(t, res, "ruleId"); got != "alloccheck" {
+		t.Errorf("result ruleId = %v", got)
+	}
+	if got := dig(t, res, "level"); got != "warning" {
+		t.Errorf("result level = %v", got)
+	}
+	if got := dig(t, res, "message", "text"); got != "hot path: make allocates" {
+		t.Errorf("result message = %v", got)
+	}
+	if got := dig(t, res, "locations", 0, "physicalLocation", "artifactLocation", "uri"); got != "internal/kvio/packed.go" {
+		t.Errorf("result uri = %v", got)
+	}
+	if got := dig(t, res, "locations", 0, "physicalLocation", "region", "startLine"); got != float64(42) {
+		t.Errorf("result startLine = %v", got)
+	}
+}
+
+// TestEmptyResults: a clean run still carries a results array — SARIF
+// consumers reject a missing property.
+func TestEmptyResults(t *testing.T) {
+	log := sarif.NewLog("mrlint", nil, nil)
+	var buf bytes.Buffer
+	if err := log.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	results, ok := dig(t, doc, "runs", 0, "results").([]any)
+	if !ok || len(results) != 0 {
+		t.Errorf("results = %v, want present empty array", results)
+	}
+}

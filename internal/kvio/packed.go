@@ -41,6 +41,8 @@ type Meta struct {
 // uint64, zero-padding short keys on the right. For keys of at most
 // eight bytes the prefix together with the length determines the key
 // completely.
+//
+//mrlint:hotpath
 func KeyPrefix(key []byte) uint64 {
 	if len(key) >= 8 {
 		return binary.BigEndian.Uint64(key)
@@ -62,6 +64,10 @@ type PackedRecords struct {
 
 // Append packs one record onto the batch. The key and value bytes are
 // copied into the arena, so the caller keeps ownership of its slices.
+// Arena and Meta grow amortized to the batch's high-water mark and are
+// recycled across spills by Reset.
+//
+//mrlint:hotpath
 func (p *PackedRecords) Append(part int, key, value []byte) {
 	off := uint32(len(p.Arena))
 	p.Arena = append(p.Arena, key...)
@@ -162,6 +168,8 @@ func metaLess(arena []byte, a, b Meta) bool {
 // equal keys, permuting only the Meta array. It is the hot-path
 // replacement for SortRecords; under the mrdebug build tag the result
 // is verified against SortRecords on every call.
+//
+//mrlint:hotpath
 func SortPacked(p PackedRecords) {
 	ref := debugSortReference(p)
 	if len(p.Meta) > 1 {

@@ -39,6 +39,8 @@ func sharedPrefix(a, b []byte) int {
 
 // appendPrefixedKV appends the compressed frame of (key, value) given the
 // previous key in the segment.
+//
+//mrlint:hotpath
 func appendPrefixedKV(dst, prevKey, key, value []byte) []byte {
 	shared := sharedPrefix(prevKey, key)
 	dst = binary.AppendUvarint(dst, uint64(shared))
@@ -87,8 +89,11 @@ func NewPrefixRunWriter(disk vdisk.Disk, name string, parts int) (*prefixRunWrit
 }
 
 // Append implements the RunSink contract.
+//
+//mrlint:hotpath
 func (w *prefixRunWriter) Append(part int, key, value []byte) error {
 	if part < w.cur || part >= w.parts {
+		//mrlint:ignore alloccheck cold path: contract violation, never taken per record
 		return fmt.Errorf("kvio: run %q: partition %d out of order (current %d, parts %d)", w.name, part, w.cur, w.parts)
 	}
 	if part > w.cur || !w.started {
@@ -106,6 +111,7 @@ func (w *prefixRunWriter) Append(part int, key, value []byte) error {
 	w.scratch = appendPrefixedKV(w.scratch[:0], w.prevKey, key, value)
 	n, err := w.buf.Write(w.scratch)
 	if err != nil {
+		//mrlint:ignore alloccheck cold path: disk failure ends the run, not the per-record loop
 		return fmt.Errorf("kvio: run %q: writing record: %w", w.name, err)
 	}
 	w.off += int64(n)
@@ -159,37 +165,47 @@ func openPrefixRunPart(disk vdisk.Disk, idx RunIndex, part int) (Stream, error) 
 	return &prefixRunReader{rc: rc, r: bufio.NewReaderSize(rc, 64<<10), len: seg.Len}, nil
 }
 
-// Next implements Stream.
+// Next implements Stream. Key and value buffers are reused across calls,
+// growing to the segment's high-water sizes.
+//
+//mrlint:hotpath
 func (r *prefixRunReader) Next() (key, value []byte, err error) {
 	shared, err := binary.ReadUvarint(r.r)
 	if err == io.EOF {
 		return nil, nil, io.EOF
 	}
 	if err != nil {
+		//mrlint:ignore alloccheck cold path: corrupt frame ends the stream
 		return nil, nil, fmt.Errorf("kvio: prefix frame: %w", err)
 	}
 	suffixLen, err := binary.ReadUvarint(r.r)
 	if err != nil {
+		//mrlint:ignore alloccheck cold path: corrupt frame ends the stream
 		return nil, nil, fmt.Errorf("kvio: prefix frame: %w", eofToUnexpected(err))
 	}
 	valLen, err := binary.ReadUvarint(r.r)
 	if err != nil {
+		//mrlint:ignore alloccheck cold path: corrupt frame ends the stream
 		return nil, nil, fmt.Errorf("kvio: prefix frame: %w", eofToUnexpected(err))
 	}
 	if shared > uint64(len(r.key)) {
+		//mrlint:ignore alloccheck cold path: corrupt frame ends the stream
 		return nil, nil, fmt.Errorf("kvio: prefix frame: shared %d exceeds previous key %d", shared, len(r.key))
 	}
 	r.key = r.key[:shared]
 	suffixStart := len(r.key)
 	r.key = append(r.key, make([]byte, suffixLen)...)
 	if _, err := io.ReadFull(r.r, r.key[suffixStart:]); err != nil {
+		//mrlint:ignore alloccheck cold path: corrupt frame ends the stream
 		return nil, nil, fmt.Errorf("kvio: prefix frame key: %w", eofToUnexpected(err))
 	}
 	if cap(r.val) < int(valLen) {
+		//mrlint:ignore alloccheck amortized: the value buffer grows to the segment's high-water size, then is reused
 		r.val = make([]byte, valLen)
 	}
 	r.val = r.val[:valLen]
 	if _, err := io.ReadFull(r.r, r.val); err != nil {
+		//mrlint:ignore alloccheck cold path: corrupt frame ends the stream
 		return nil, nil, fmt.Errorf("kvio: prefix frame value: %w", eofToUnexpected(err))
 	}
 	return r.key, r.val, nil

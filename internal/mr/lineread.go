@@ -2,7 +2,6 @@ package mr
 
 import (
 	"bufio"
-	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -53,6 +52,7 @@ type lineScanner struct {
 	splitEnd int64
 	consumed int64 // bytes consumed that count against this split
 	done     bool
+	line     []byte // owned line buffer, reused across Next calls
 }
 
 // openLines positions a scanner at the start of the first line owned by the
@@ -88,24 +88,46 @@ func openLines(fs *dfs.DFS, split Split, node int) (*lineScanner, error) {
 }
 
 // Next returns the next owned line (without its trailing newline) and its
-// starting offset. ok=false signals end of split.
+// starting offset. ok=false signals end of split. The returned slice is
+// the scanner's reused buffer and is valid only until the next Next call;
+// callers copy what they keep (the map loop emits into the spill buffer's
+// arena, which copies).
+//
+//mrlint:hotpath
 func (s *lineScanner) Next() (off int64, line []byte, ok bool, err error) {
 	if s.done || s.pos >= s.splitEnd {
 		return 0, nil, false, nil
 	}
 	off = s.pos
-	raw, rerr := s.r.ReadBytes('\n')
-	s.pos += int64(len(raw))
-	s.consumed += int64(len(raw))
+	// ReadSlice into a reused buffer instead of ReadBytes: ReadBytes
+	// returns a fresh copy per call, which was the map loop's last
+	// per-line allocation.
+	s.line = s.line[:0]
+	var rerr error
+	for {
+		var frag []byte
+		frag, rerr = s.r.ReadSlice('\n')
+		s.line = append(s.line, frag...)
+		if rerr != bufio.ErrBufferFull {
+			break
+		}
+	}
+	n := int64(len(s.line))
+	s.pos += n
+	s.consumed += n
 	if rerr == io.EOF {
 		s.done = true
-		if len(raw) == 0 {
+		if len(s.line) == 0 {
 			return 0, nil, false, nil
 		}
 	} else if rerr != nil {
+		//mrlint:ignore alloccheck cold path: I/O failure exit, not the per-line loop
 		return 0, nil, false, fmt.Errorf("mr: reading line at %d: %w", off, rerr)
 	}
-	line = bytes.TrimSuffix(raw, []byte("\n"))
+	line = s.line
+	if len(line) > 0 && line[len(line)-1] == '\n' {
+		line = line[:len(line)-1]
+	}
 	return off, line, true, nil
 }
 

@@ -159,6 +159,8 @@ func RecordBytes(key, value []byte) int64 {
 // buffer is full and returns ErrClosed after Close. The returned duration
 // is the time spent blocked, which the caller excludes from its own
 // operation accounting (it is already recorded as map-thread idle time).
+//
+//mrlint:hotpath
 func (b *Buffer) Append(part int, key, value []byte) (time.Duration, error) {
 	now := time.Now()
 
@@ -191,6 +193,7 @@ func (b *Buffer) Append(part int, key, value []byte) (time.Duration, error) {
 	}
 	if int64(len(b.pending.Arena))+int64(len(key))+int64(len(value)) > maxArenaBytes {
 		b.mu.Unlock()
+		//mrlint:ignore alloccheck cold path: multi-GiB record rejection, never taken per record
 		return waited, fmt.Errorf("spillbuf: record of %d bytes overflows the %d-byte arena offset space", int64(len(key))+int64(len(value)), int64(maxArenaBytes))
 	}
 	b.pending.Append(part, key, value)

@@ -35,28 +35,53 @@ import (
 // Kind identifies the typed span or instant an Event records.
 type Kind uint8
 
+// Span kinds ("X" complete events in the exported trace).
 const (
-	// Span kinds ("X" complete events in the exported trace).
-	KindJob          Kind = iota // whole job, scheduler lane
-	KindMapTask                  // one map task attempt, map lane
-	KindSpill                    // support goroutine consuming one spill
-	KindSort                     // sorting one spill's records
-	KindCombine                  // user combine() during one spill
-	KindMerge                    // merging spill runs into the map output
-	KindShuffleFetch             // reduce side opening map-output segments
-	KindShuffleCopy              // shuffle copier staging one committed map-output segment
-	KindReduceTask               // one reduce task attempt, reduce lane
-	KindWaitMap                  // map goroutine blocked on a full spill buffer
-	KindWaitSupport              // support goroutine waiting for a spill
+	// KindJob spans the whole job, on the scheduler lane.
+	KindJob Kind = iota
+	// KindMapTask spans one map task attempt, on the map lane.
+	KindMapTask
+	// KindSpill spans the support goroutine consuming one spill.
+	KindSpill
+	// KindSort spans sorting one spill's records.
+	KindSort
+	// KindCombine spans the user combine() during one spill.
+	KindCombine
+	// KindMerge spans merging spill runs into the map output.
+	KindMerge
+	// KindShuffleFetch spans the reduce side opening map-output segments.
+	KindShuffleFetch
+	// KindShuffleCopy spans a shuffle copier staging one committed
+	// map-output segment.
+	KindShuffleCopy
+	// KindReduceTask spans one reduce task attempt, on the reduce lane.
+	KindReduceTask
+	// KindWaitMap spans a map goroutine blocked on a full spill buffer.
+	KindWaitMap
+	// KindWaitSupport spans a support goroutine waiting for a spill.
+	KindWaitSupport
 
-	// Instant kinds ("i" events).
-	KindSpillHandoff      // a spill batch handed to the support goroutine
-	KindSpillDecision     // spill-matcher threshold after a measurement
-	KindFreqEviction      // frequency-buffer aggregates overflowed to the spill path
-	KindWorkSteal         // scheduler gave a node another node's local task
-	KindTaskRetry         // a failed attempt was requeued (arg: attempt number)
-	KindNodeDeath         // the runner noticed a node died (arg: dead node)
-	KindSpeculativeLaunch // a backup attempt launched for a straggler (arg: attempt)
+	// KindSpillHandoff is the first instant kind ("i" events from here
+	// down): a spill batch handed to the support goroutine.
+	KindSpillHandoff
+	// KindSpillDecision records the spill-matcher threshold after a
+	// measurement.
+	KindSpillDecision
+	// KindFreqEviction records frequency-buffer aggregates overflowing to
+	// the spill path.
+	KindFreqEviction
+	// KindWorkSteal records the scheduler giving a node another node's
+	// local task.
+	KindWorkSteal
+	// KindTaskRetry records a failed attempt being requeued (arg: attempt
+	// number).
+	KindTaskRetry
+	// KindNodeDeath records the runner noticing a node died (arg: dead
+	// node).
+	KindNodeDeath
+	// KindSpeculativeLaunch records a backup attempt launched for a
+	// straggler (arg: attempt).
+	KindSpeculativeLaunch
 
 	numKinds
 )
@@ -85,9 +110,13 @@ func (k Kind) Instant() bool { return k >= KindSpillHandoff && k < numKinds }
 type Lane uint8
 
 const (
+	// LaneMap is the map goroutine's swimlane.
 	LaneMap Lane = iota
+	// LaneSupport is the spill/support goroutine's swimlane.
 	LaneSupport
+	// LaneReduce is the reduce goroutine's swimlane.
 	LaneReduce
+	// LaneScheduler is the job scheduler's swimlane.
 	LaneScheduler
 	numLanes
 )
