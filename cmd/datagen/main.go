@@ -5,6 +5,10 @@
 //	datagen -kind visits -out visits.log -mb 128
 //	datagen -kind rankings -out rankings.tbl
 //	datagen -kind graph -out crawl.tsv -pages 100000
+//
+// -scale multiplies -mb and -pages, for growing the standard datasets to
+// benchmark size without recomputing flag values (e.g. -scale 100 for the
+// ingest benchmark corpus).
 package main
 
 import (
@@ -25,8 +29,14 @@ func main() {
 		pages = flag.Int64("pages", 100_000, "graph pages")
 		alpha = flag.Float64("alpha", 0, "Zipf exponent override (0 = dataset default)")
 		seed  = flag.Int64("seed", 1, "generator seed")
+		mult  = flag.Float64("scale", 1, "size multiplier applied to -mb and -pages (e.g. 100 for a 100x bench corpus)")
 	)
 	flag.Parse()
+	if *mult <= 0 {
+		die(fmt.Errorf("-scale must be positive, got %g", *mult))
+	}
+	*mb = int64(float64(*mb) * *mult)
+	*pages = int64(float64(*pages) * *mult)
 
 	w := os.Stdout
 	if *out != "" {

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"mrtext/internal/ingestbench"
+)
+
+// runIngestBench runs the ingest fast-path harness (internal/ingestbench)
+// and writes the report to out. With assert set it fails — exit-code
+// style, for CI — unless every batched pipeline held the steady-state
+// allocation count at exactly zero per record. Throughput is not asserted
+// (shared CI runners make wall time unreliable); the speedup lives in the
+// report for the record.
+func runIngestBench(out string, megabytes int64, chunkKB, iters int, seed int64, assert bool) error {
+	rep, err := ingestbench.Do(megabytes, chunkKB<<10, iters, seed)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	for _, r := range rep.Runs {
+		fmt.Printf("%-16s %-8s %9d recs %9d B  wall %8.1f ms  %6.3f GB/s/core  %7.3f allocs/rec  %5.2fx\n",
+			r.Workload, r.Config, r.Records, r.Bytes, r.WallMS, r.GBPerSecPerCore, r.AllocsPerRecord, r.Speedup)
+	}
+	fmt.Printf("wrote %s\n", out)
+	if assert {
+		for _, r := range rep.Runs {
+			if r.Config == "batched" && r.AllocsPerRecord != 0 {
+				return fmt.Errorf("batched %s allocated %.4f allocs/record in steady state, want 0",
+					r.Workload, r.AllocsPerRecord)
+			}
+		}
+	}
+	return nil
+}

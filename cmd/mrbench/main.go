@@ -14,6 +14,11 @@
 // mrbench -shufflebench runs the pipelined-shuffle harness — the same
 // throttled SynText job under the serial shuffle and under copier pools
 // of fan-out 1, 2 and 4 — and writes BENCH_shuffle.json.
+//
+// mrbench -ingestbench runs the ingest fast-path harness — the serial
+// bufio line scanner with allocating tokenize/parse kernels against the
+// block-batched arena scanner with the fastparse kernels — and writes
+// BENCH_ingest.json (see internal/ingestbench).
 package main
 
 import (
@@ -70,6 +75,12 @@ func main() {
 		shbOut     = flag.String("shufflebench-out", "BENCH_shuffle.json", "output file for -shufflebench")
 		shbIters   = flag.Int("shufflebench-iters", 3, "iterations per shuffle configuration for -shufflebench")
 		shbMB      = flag.Int64("shufflebench-mb", 16, "SynText corpus size in MiB for -shufflebench")
+		ingbench   = flag.Bool("ingestbench", false, "run the ingest fast-path harness and write -ingestbench-out")
+		ibOut      = flag.String("ingestbench-out", "BENCH_ingest.json", "output file for -ingestbench")
+		ibIters    = flag.Int("ingestbench-iters", 5, "iterations per ingest pipeline for -ingestbench")
+		ibMB       = flag.Int64("ingestbench-mb", 64, "dataset size in MiB for -ingestbench")
+		ibChunkKB  = flag.Int("ingestbench-chunk-kb", 0, "batched-reader arena chunk in KiB for -ingestbench (0 = default)")
+		ibAssert   = flag.Bool("ingestbench-assert", false, "exit nonzero unless batched steady-state allocs/record == 0 (CI gate)")
 		traceOut   = flag.String("trace", "", "record every job run and write one Chrome/Perfetto trace to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and live expvar metrics on this address (e.g. localhost:6060)")
 	)
@@ -104,6 +115,13 @@ func main() {
 	if *shufbench {
 		if err := runShuffleBench(*shbOut, *shbIters, *shbMB); err != nil {
 			fmt.Fprintf(os.Stderr, "mrbench: shufflebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ingbench {
+		if err := runIngestBench(*ibOut, *ibMB, *ibChunkKB, *ibIters, *seed, *ibAssert); err != nil {
+			fmt.Fprintf(os.Stderr, "mrbench: ingestbench: %v\n", err)
 			os.Exit(1)
 		}
 		return

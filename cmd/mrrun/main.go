@@ -42,6 +42,8 @@ func main() {
 		speculate = flag.Bool("speculation", false, "launch speculative backup attempts for straggler tasks")
 		copiers   = flag.Int("shuffle-copiers", 4, "concurrent shuffle copiers per reduce partition (0 = serial shuffle at reduce start)")
 		shufBuf   = flag.Int64("shuffle-buffer", 32, "staging buffer budget per job in MiB; staged segments over budget spill to disk")
+		serialIn  = flag.Bool("serial-ingest", false, "read splits with the bufio line scanner instead of the block-batched fast path")
+		ingChunk  = flag.Int64("ingest-chunk-kb", 0, "batched split reader arena chunk in KiB (0 = default 1024)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -134,6 +136,8 @@ func main() {
 		job.ShuffleCopiers = *copiers
 	}
 	job.ShuffleBufferBytes = *shufBuf << 20
+	job.SerialIngest = *serialIn
+	job.IngestChunkBytes = *ingChunk << 10
 
 	var tr *mrtext.Tracer
 	if *traceOut != "" || *gantt {

@@ -4,8 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
-	"strconv"
 
+	"mrtext/internal/fastparse"
 	"mrtext/internal/mr"
 	"mrtext/internal/serde"
 )
@@ -22,29 +22,37 @@ const (
 	rankingFields = 3
 )
 
-// visitFieldsOf splits a log line on '|'.
-func logFields(line []byte) [][]byte {
-	return bytes.Split(line, []byte{'|'})
-}
-
 // ---------- AccessLogSum ----------
 // SELECT destURL, sum(adRevenue) FROM UserVisits GROUP BY destURL;
 
-type accessLogSumMapper struct{}
+type accessLogSumMapper struct {
+	fields [][]byte // '|'-split scratch, reused across lines
+	val    []byte   // encoded-value scratch
+}
 
-func (accessLogSumMapper) Map(_ int64, line []byte, out mr.Collector) error {
+// Map implements the AccessLogSum map(): (destURL, adRevenueCents) per
+// visit. The revenue field is parsed in place with fastparse.ParseInt —
+// the strconv.ParseInt(string(f[3]), ...) it replaced allocated a string
+// per record — and the varint value is encoded into reused scratch.
+//
+//mrlint:hotpath
+func (m *accessLogSumMapper) Map(_ int64, line []byte, out mr.Collector) error {
 	if len(line) == 0 {
 		return nil
 	}
-	f := logFields(line)
+	m.fields = fastparse.SplitByte(m.fields[:0], line, '|')
+	f := m.fields
 	if len(f) != visitFields {
+		//mrlint:ignore alloccheck cold path: malformed-input rejection, not the per-record loop
 		return fmt.Errorf("apps: malformed UserVisits line (%d fields)", len(f))
 	}
-	cents, err := strconv.ParseInt(string(f[3]), 10, 64)
+	cents, err := fastparse.ParseInt(f[3])
 	if err != nil {
+		//mrlint:ignore alloccheck cold path: malformed-input rejection, not the per-record loop
 		return fmt.Errorf("apps: parsing adRevenue: %w", err)
 	}
-	return out.Collect(f[1], serde.EncodeInt64(cents))
+	m.val = serde.AppendInt64(m.val[:0], cents)
+	return out.Collect(f[1], m.val)
 }
 
 // AccessLogSum aggregates ad revenue per destination URL — the paper's
@@ -53,7 +61,7 @@ func AccessLogSum(visits string) *mr.Job {
 	return &mr.Job{
 		Name:       "accesslogsum",
 		Inputs:     []string{visits},
-		NewMapper:  func() mr.Mapper { return accessLogSumMapper{} },
+		NewMapper:  func() mr.Mapper { return &accessLogSumMapper{} },
 		NewReducer: func() mr.Reducer { return sumReducer{} },
 		Combine:    sumCombine,
 		Format:     textKVFormat,
@@ -69,14 +77,19 @@ func AccessLogSum(visits string) *mr.Job {
 // combiner — join tuples cannot be aggregated — which is exactly why the
 // paper sees only marginal frequency-buffering gains here.
 type accessLogJoinMapper struct {
+	fields  [][]byte // '|'-split scratch, reused across lines
 	scratch []byte
 }
 
+// Map implements the AccessLogJoin map(): tagged tuples keyed by URL.
+//
+//mrlint:hotpath
 func (m *accessLogJoinMapper) Map(_ int64, line []byte, out mr.Collector) error {
 	if len(line) == 0 {
 		return nil
 	}
-	f := logFields(line)
+	m.fields = fastparse.SplitByte(m.fields[:0], line, '|')
+	f := m.fields
 	switch len(f) {
 	case visitFields:
 		m.scratch = append(m.scratch[:0], 'V')
@@ -89,6 +102,7 @@ func (m *accessLogJoinMapper) Map(_ int64, line []byte, out mr.Collector) error 
 		m.scratch = append(m.scratch, f[1]...)
 		return out.Collect(f[0], m.scratch)
 	default:
+		//mrlint:ignore alloccheck cold path: malformed-input rejection, not the per-record loop
 		return fmt.Errorf("apps: malformed join input line (%d fields)", len(f))
 	}
 }

@@ -9,23 +9,22 @@
 package apps
 
 import (
-	"bytes"
 	"fmt"
 	"sort"
 	"strconv"
 
+	"mrtext/internal/fastparse"
 	"mrtext/internal/mr"
 	"mrtext/internal/serde"
 )
 
-// splitWords tokenizes a corpus line in place (fields of lowercase ASCII
-// words, as produced by textgen).
-//
-//mrlint:hotpath
-func splitWords(line []byte) [][]byte {
-	//mrlint:ignore alloccheck bytes.Fields allocates the token slice; replacing it with a zero-alloc in-place tokenizer is the 1BRC-ingest roadmap item
-	return bytes.Fields(line)
-}
+// Tokenization note: every mapper splits its line with fastparse.Fields
+// (or fastparse.SplitByte for the '|'-delimited logs) into a per-mapper
+// scratch slice, so the steady-state map loop performs zero heap
+// allocations per record — the words are subslices of the split reader's
+// arena and the field headers reuse the mapper's scratch capacity. This
+// replaced the bytes.Fields-based splitWords helper, which allocated a
+// fresh token slice per line.
 
 // sumCombine adds zig-zag varint int64 values — the combiner and the
 // reduction core of WordCount and AccessLogSum.
@@ -81,10 +80,16 @@ func textKVFormat(key, value []byte) ([]byte, error) {
 
 var one = serde.EncodeInt64(1)
 
-type wordCountMapper struct{}
+type wordCountMapper struct {
+	words [][]byte // tokenizer scratch, reused across lines
+}
 
-func (wordCountMapper) Map(_ int64, line []byte, out mr.Collector) error {
-	for _, w := range splitWords(line) {
+// Map implements the WordCount map(): one (word, 1) per token.
+//
+//mrlint:hotpath
+func (m *wordCountMapper) Map(_ int64, line []byte, out mr.Collector) error {
+	m.words = fastparse.Fields(m.words[:0], line)
+	for _, w := range m.words {
 		if err := out.Collect(w, one); err != nil {
 			return err
 		}
@@ -98,7 +103,7 @@ func WordCount(inputs ...string) *mr.Job {
 	return &mr.Job{
 		Name:       "wordcount",
 		Inputs:     inputs,
-		NewMapper:  func() mr.Mapper { return wordCountMapper{} },
+		NewMapper:  func() mr.Mapper { return &wordCountMapper{} },
 		NewReducer: func() mr.Reducer { return sumReducer{} },
 		Combine:    sumCombine,
 		Format:     textKVFormat,
@@ -112,13 +117,23 @@ func WordCount(inputs ...string) *mr.Job {
 const invIdxDocShift = 16
 
 type invertedIndexMapper struct {
+	words   [][]byte // tokenizer scratch, reused across lines
+	posting [1]serde.Posting
 	scratch []byte
 }
 
+// Map implements the InvertedIndex map(): one single-posting list per
+// token, encoded into the mapper's scratch.
+//
+//mrlint:hotpath
 func (m *invertedIndexMapper) Map(off int64, line []byte, out mr.Collector) error {
-	doc := uint64(off) >> invIdxDocShift
-	for _, w := range splitWords(line) {
-		m.scratch = serde.AppendPostings(m.scratch[:0], []serde.Posting{{Doc: doc, Off: uint64(off)}})
+	m.words = fastparse.Fields(m.words[:0], line)
+	if len(m.words) == 0 {
+		return nil
+	}
+	m.posting[0] = serde.Posting{Doc: uint64(off) >> invIdxDocShift, Off: uint64(off)}
+	m.scratch = serde.AppendPostings(m.scratch[:0], m.posting[:])
+	for _, w := range m.words {
 		if err := out.Collect(w, m.scratch); err != nil {
 			return err
 		}

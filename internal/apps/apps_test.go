@@ -27,7 +27,7 @@ func gather(t *testing.T, m mr.Mapper, off int64, line string) []struct{ K, V []
 }
 
 func TestWordCountMapper(t *testing.T) {
-	got := gather(t, wordCountMapper{}, 0, "a b a  c")
+	got := gather(t, &wordCountMapper{}, 0, "a b a  c")
 	if len(got) != 4 {
 		t.Fatalf("emitted %d", len(got))
 	}
@@ -40,7 +40,7 @@ func TestWordCountMapper(t *testing.T) {
 			t.Errorf("value: %d %v", n, err)
 		}
 	}
-	if got := gather(t, wordCountMapper{}, 0, ""); len(got) != 0 {
+	if got := gather(t, &wordCountMapper{}, 0, ""); len(got) != 0 {
 		t.Errorf("empty line emitted %d pairs", len(got))
 	}
 }
@@ -159,7 +159,7 @@ func TestInvertedIndexFormat(t *testing.T) {
 
 func TestAccessLogSumMapper(t *testing.T) {
 	line := "1.2.3.4|example.org/a.html|2010-01-02|1234|Mozilla/5.0|USA|17"
-	got := gather(t, accessLogSumMapper{}, 0, line)
+	got := gather(t, &accessLogSumMapper{}, 0, line)
 	if len(got) != 1 || string(got[0].K) != "example.org/a.html" {
 		t.Fatalf("got %v", got)
 	}
@@ -173,7 +173,7 @@ func TestAccessLogSumMapper(t *testing.T) {
 		t.Error("malformed line accepted")
 	}
 	// Blank lines are skipped.
-	if got := gather(t, accessLogSumMapper{}, 0, ""); len(got) != 0 {
+	if got := gather(t, &accessLogSumMapper{}, 0, ""); len(got) != 0 {
 		t.Error("blank line emitted")
 	}
 }
@@ -294,12 +294,12 @@ func TestPageRankCombineGroupingInvariance(t *testing.T) {
 
 func TestParseGraphLineErrors(t *testing.T) {
 	for _, bad := range []string{"nofields", "a\tnorank", "a\tx\tb"} {
-		if _, _, _, err := parseGraphLine([]byte(bad)); err == nil {
+		if _, _, _, err := parseGraphLine(nil, []byte(bad)); err == nil {
 			t.Errorf("%q accepted", bad)
 		}
 	}
-	url, rank, links, err := parseGraphLine([]byte("u\t0.25\t"))
-	if err != nil || string(url) != "u" || rank != 0.25 || links != nil {
+	url, rank, links, err := parseGraphLine(nil, []byte("u\t0.25\t"))
+	if err != nil || string(url) != "u" || rank != 0.25 || len(links) != 0 {
 		t.Errorf("dangling page: %q %v %v %v", url, rank, links, err)
 	}
 }

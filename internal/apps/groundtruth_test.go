@@ -1,0 +1,53 @@
+package apps
+
+import (
+	"testing"
+
+	"mrtext/internal/mr"
+)
+
+// TestGroundTruthMappers pins the //mrlint:hotpath annotations on the
+// rewritten map() implementations to the real compiler: with scratch warm,
+// each mapper must process a representative line with zero heap
+// allocations (the collector here is a no-op; the runtime's collector
+// copies into the spill arena, which is gated by its own ground truth).
+// CI runs this plain and under -race; race instrumentation inflates
+// allocation counts, so the ==0 assertions are relaxed there
+// (raceEnabled), matching the alloccheck ground-truth convention.
+func TestGroundTruthMappers(t *testing.T) {
+	sink := mr.CollectorFunc(func(k, v []byte) error { return nil })
+
+	textLine := []byte("the quick brown fox jumps over the lazy dog")
+	visitLine := []byte("137.229.31.70|example.org/faeri.html|1979-12-12|359|Mozilla/5.0|ALM|3")
+	rankingLine := []byte("example.org/faeri.html|77|10")
+	graphLine := []byte("page/a\t1.23456789e-01\tpage/b,page/c,page/d")
+
+	cases := []struct {
+		name string
+		m    mr.Mapper
+		line []byte
+	}{
+		{"wordCount", &wordCountMapper{}, textLine},
+		{"invertedIndex", &invertedIndexMapper{}, textLine},
+		{"synText", &synTextMapper{cfg: SynTextConfig{CPUFactor: 1, PayloadBase: 8}}, textLine},
+		{"accessLogSum", &accessLogSumMapper{}, visitLine},
+		{"accessLogJoinVisit", &accessLogJoinMapper{}, visitLine},
+		{"accessLogJoinRanking", &accessLogJoinMapper{}, rankingLine},
+		{"pageRank", &pageRankMapper{}, graphLine},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			run := func() {
+				if err := c.m.Map(0, c.line, sink); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run() // warm the mapper's scratch
+			allocs := testing.AllocsPerRun(200, run)
+			if allocs != 0 && !raceEnabled {
+				t.Errorf("%s.Map: %.2f allocs/line on the fast path, want 0", c.name, allocs)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"mrtext/internal/fastparse"
 	"mrtext/internal/mr"
 	"mrtext/internal/serde"
 )
@@ -28,19 +29,29 @@ const pageRankDamping = 0.85
 const rankScale = 1 << 40
 
 type pageRankMapper struct {
-	scratch []byte
+	links   [][]byte // parsed-outlink scratch, reused across lines
+	scratch []byte   // graph-record encode scratch
+	contrib []byte   // contribution-record encode scratch
 }
 
+// Map implements the PageRank map(): the graph record plus one rank
+// contribution per outlink, all encoded into reused scratch — the links
+// are subslices of the input line, never copied to strings (the
+// strconv.ParseFloat(string(...)) rank parse and the []byte(t) key
+// conversion each allocated per record before the fast path).
+//
+//mrlint:hotpath
 func (m *pageRankMapper) Map(_ int64, line []byte, out mr.Collector) error {
 	if len(line) == 0 {
 		return nil
 	}
-	url, rank, outlinks, err := parseGraphLine(line)
+	url, rank, outlinks, err := parseGraphLine(m.links[:0], line)
+	m.links = outlinks
 	if err != nil {
 		return err
 	}
 	// Reconstruct the graph: (URL, (0, outlinks)).
-	m.scratch = append(m.scratch[:0], serde.EncodeRankRecord(serde.RankRecord{Graph: true, Outlinks: outlinks})...)
+	m.scratch = serde.AppendRankRecord(m.scratch[:0], 0, true, outlinks)
 	if err := out.Collect(url, m.scratch); err != nil {
 		return err
 	}
@@ -50,36 +61,43 @@ func (m *pageRankMapper) Map(_ int64, line []byte, out mr.Collector) error {
 	}
 	units := int64(rank*rankScale + 0.5)
 	share := units / int64(len(outlinks))
-	contrib := serde.EncodeRankRecord(serde.RankRecord{Rank: float64(share)})
+	m.contrib = serde.AppendRankRecord(m.contrib[:0], float64(share), false, nil)
 	for _, t := range outlinks {
-		if err := out.Collect([]byte(t), contrib); err != nil {
+		if err := out.Collect(t, m.contrib); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func parseGraphLine(line []byte) (url []byte, rank float64, outlinks []string, err error) {
+// parseGraphLine splits "url<TAB>rank<TAB>out1,out2,..." in place: url and
+// the outlinks alias line, the outlink headers are appended to dst, and
+// the rank is parsed with fastparse.ParseFloat (bit-identical to strconv
+// on the generator's format, without the string conversion).
+//
+//mrlint:hotpath
+func parseGraphLine(dst [][]byte, line []byte) (url []byte, rank float64, outlinks [][]byte, err error) {
 	tab1 := bytes.IndexByte(line, '\t')
 	if tab1 < 0 {
-		return nil, 0, nil, fmt.Errorf("apps: malformed graph line (no rank field)")
+		//mrlint:ignore alloccheck cold path: malformed-input rejection, not the per-record loop
+		return nil, 0, dst, fmt.Errorf("apps: malformed graph line (no rank field)")
 	}
 	rest := line[tab1+1:]
 	tab2 := bytes.IndexByte(rest, '\t')
 	if tab2 < 0 {
-		return nil, 0, nil, fmt.Errorf("apps: malformed graph line (no links field)")
+		//mrlint:ignore alloccheck cold path: malformed-input rejection, not the per-record loop
+		return nil, 0, dst, fmt.Errorf("apps: malformed graph line (no links field)")
 	}
-	rank, err = strconv.ParseFloat(string(rest[:tab2]), 64)
+	rank, err = fastparse.ParseFloat(rest[:tab2])
 	if err != nil {
-		return nil, 0, nil, fmt.Errorf("apps: parsing rank: %w", err)
+		//mrlint:ignore alloccheck cold path: malformed-input rejection, not the per-record loop
+		return nil, 0, dst, fmt.Errorf("apps: parsing rank %q: %w", rest[:tab2], err)
 	}
 	links := rest[tab2+1:]
 	if len(links) > 0 {
-		for _, l := range bytes.Split(links, []byte{','}) {
-			outlinks = append(outlinks, string(l))
-		}
+		dst = fastparse.SplitByte(dst, links, ',')
 	}
-	return line[:tab1], rank, outlinks, nil
+	return line[:tab1], rank, dst, nil
 }
 
 // pageRankCombine folds a set of rank records into at most one: the summed

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"mrtext/internal/fastparse"
 	"mrtext/internal/mr"
 	"mrtext/internal/postag"
 	"mrtext/internal/serde"
@@ -20,12 +21,14 @@ const DefaultPOSIterations = 60
 // certain type".
 type wordPOSMapper struct {
 	tagger  *postag.Tagger
+	words   [][]byte // tokenizer scratch, reused across lines
 	scratch []uint32
 	enc     []byte
 }
 
 func (m *wordPOSMapper) Map(_ int64, line []byte, out mr.Collector) error {
-	words := splitWords(line)
+	m.words = fastparse.Fields(m.words[:0], line)
+	words := m.words
 	if len(words) == 0 {
 		return nil
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"mrtext/internal/fastparse"
 	"mrtext/internal/mr"
 )
 
@@ -61,12 +62,18 @@ func synTextCount(v []byte) (uint64, error) {
 
 type synTextMapper struct {
 	cfg     SynTextConfig
+	words   [][]byte // tokenizer scratch, reused across lines
 	scratch []byte
 	cpuSink uint64 // per-mapper: map tasks burn CPU concurrently
 }
 
+// Map implements the SynText map(): per-word CPU burn plus a count-1
+// payload record, tokenized and encoded through reused scratch.
+//
+//mrlint:hotpath
 func (m *synTextMapper) Map(_ int64, line []byte, out mr.Collector) error {
-	for _, w := range splitWords(line) {
+	m.words = fastparse.Fields(m.words[:0], line)
+	for _, w := range m.words {
 		m.cpuSink += burnCPU(w, m.cfg.CPUFactor)
 		m.scratch = synTextValue(m.scratch[:0], 1, m.cfg)
 		if err := out.Collect(w, m.scratch); err != nil {

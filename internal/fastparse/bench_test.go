@@ -1,0 +1,63 @@
+package fastparse
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+)
+
+// Corpus-shaped line: ~10 short Zipf words separated by single spaces.
+var benchLine = []byte("the of quick and brown to fox jumps over lazy")
+
+// Visits-shaped line: the textgen.UserVisits schema.
+var benchVisit = []byte("137.229.31.70|example.org/faeri.html|1979-12-12|359|Mozilla/5.0|ALM|3")
+
+func BenchmarkFields(b *testing.B) {
+	b.SetBytes(int64(len(benchLine)))
+	var words [][]byte
+	var sink int
+	for i := 0; i < b.N; i++ {
+		words = Fields(words[:0], benchLine)
+		sink += len(words)
+	}
+	_ = sink
+}
+
+func BenchmarkBytesFields(b *testing.B) {
+	b.SetBytes(int64(len(benchLine)))
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += len(bytes.Fields(benchLine))
+	}
+	_ = sink
+}
+
+func BenchmarkSplitByteParseInt(b *testing.B) {
+	b.SetBytes(int64(len(benchVisit)))
+	var fields [][]byte
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		fields = SplitByte(fields[:0], benchVisit, '|')
+		v, err := ParseInt(fields[3])
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += v
+	}
+	_ = sink
+}
+
+func BenchmarkBytesSplitStrconv(b *testing.B) {
+	b.SetBytes(int64(len(benchVisit)))
+	sep := []byte("|")
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		f := bytes.Split(benchVisit, sep)
+		v, err := strconv.ParseInt(string(f[3]), 10, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += v
+	}
+	_ = sink
+}

@@ -1,0 +1,302 @@
+package fastparse_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"mrtext/internal/fastparse"
+)
+
+// agreeInt asserts fastparse.ParseInt and strconv.ParseInt make the same
+// accept/reject decision on s and, on accept, return the same value.
+func agreeInt(t *testing.T, s string) {
+	t.Helper()
+	got, gerr := fastparse.ParseInt([]byte(s))
+	want, werr := strconv.ParseInt(s, 10, 64)
+	if (gerr == nil) != (werr == nil) {
+		t.Errorf("ParseInt(%q): err %v, strconv err %v", s, gerr, werr)
+		return
+	}
+	if gerr == nil && got != want {
+		t.Errorf("ParseInt(%q) = %d, strconv = %d", s, got, want)
+	}
+	// On range errors both clamp to the same extreme.
+	if gerr == fastparse.ErrRange && got != want {
+		t.Errorf("ParseInt(%q) clamped to %d, strconv to %d", s, got, want)
+	}
+}
+
+func agreeUint(t *testing.T, s string) {
+	t.Helper()
+	got, gerr := fastparse.ParseUint([]byte(s))
+	want, werr := strconv.ParseUint(s, 10, 64)
+	if (gerr == nil) != (werr == nil) {
+		t.Errorf("ParseUint(%q): err %v, strconv err %v", s, gerr, werr)
+		return
+	}
+	if gerr == nil && got != want {
+		t.Errorf("ParseUint(%q) = %d, strconv = %d", s, got, want)
+	}
+}
+
+func TestParseIntCases(t *testing.T) {
+	cases := []string{
+		"0", "1", "-1", "+1", "42", "-42", "007", "-007",
+		"9223372036854775807", "-9223372036854775808",
+		"9223372036854775808", "-9223372036854775809", // one past the extremes
+		"18446744073709551615", "18446744073709551616", "99999999999999999999999",
+		"", "+", "-", "+-1", "--1", "1x", "x1", " 1", "1 ", "1.5", "0x10", "1_0",
+	}
+	for _, s := range cases {
+		agreeInt(t, s)
+		agreeUint(t, s)
+	}
+}
+
+func TestParseIntRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		got, err := fastparse.ParseInt(strconv.AppendInt(nil, v, 10))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(v uint64) bool {
+		got, err := fastparse.ParseUint(strconv.AppendUint(nil, v, 10))
+		return err == nil && got == v
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseIntRandomJunk drives both parsers with random digit-heavy noise
+// so boundary and rejection behavior is compared far beyond the curated
+// cases.
+func TestParseIntRandomJunk(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alphabet := []byte("0123456789+-. exE_")
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(24)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		agreeInt(t, string(b))
+		agreeUint(t, string(b))
+	}
+}
+
+// floatSubset reports whether s matches the documented ParseFloat grammar
+// [+-]?digits[.digits][(e|E)[+-]?digits] — the reference the agreement
+// tests are phrased against.
+func floatSubset(s string) bool {
+	i, n := 0, len(s)
+	if i < n && (s[i] == '+' || s[i] == '-') {
+		i++
+	}
+	d0 := i
+	for i < n && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i == d0 {
+		return false
+	}
+	if i < n && s[i] == '.' {
+		i++
+		f0 := i
+		for i < n && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+		if i == f0 {
+			return false
+		}
+	}
+	if i < n && (s[i] == 'e' || s[i] == 'E') {
+		i++
+		if i < n && (s[i] == '+' || s[i] == '-') {
+			i++
+		}
+		e0 := i
+		for i < n && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+		if i == e0 {
+			return false
+		}
+	}
+	return i == n
+}
+
+// agreeFloat asserts the subset contract: in-grammar inputs parse to the
+// exact bits strconv produces (including the error on range overflow);
+// out-of-grammar inputs are rejected.
+func agreeFloat(t *testing.T, s string) {
+	t.Helper()
+	got, gerr := fastparse.ParseFloat([]byte(s))
+	if !floatSubset(s) {
+		if gerr == nil {
+			t.Errorf("ParseFloat(%q) accepted input outside the subset grammar", s)
+		}
+		return
+	}
+	want, werr := strconv.ParseFloat(s, 64)
+	if (gerr == nil) != (werr == nil) {
+		t.Errorf("ParseFloat(%q): err %v, strconv err %v", s, gerr, werr)
+		return
+	}
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("ParseFloat(%q) = %v (bits %x), strconv = %v (bits %x)",
+			s, got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+func TestParseFloatCases(t *testing.T) {
+	cases := []string{
+		"0", "-0", "0.0", "-0.0", "1", "1.5", "-1.5", "+2.75",
+		"12.34", "0.1", "0.2", "0.3", "1e3", "1E3", "1e+3", "1e-3",
+		"1.23456789e-01", "9.87654321e+05", "-4.56000000e-02", // pageRankFormat shapes
+		"123456789012345678901234567890", "1e22", "1e23", "1e-22", "1e-23",
+		"9007199254740991", "9007199254740992", "9007199254740993",
+		"1.7976931348623157e308", "1e309", "-1e309", "1e-400", "5e-324",
+		"0e999999", "0.000e999999",
+		"17976931348623157081452742373170435679807056752584499659891747680315726078002853876058955863276687817154045895351438246423432132688946418276846754670353751698604991057655128207624549009038932894407586850845513394230458323690322294816580855933212334827479782620414472316873817718091929988125040402618412485836",
+		"", ".", ".5", "1.", "+", "-", "e5", "1e", "1e+", "1.e5", "inf", "+Inf", "nan", "NaN",
+		"0x1p4", "1_000", " 1", "1 ", "1..2", "1e5e5",
+	}
+	for _, s := range cases {
+		agreeFloat(t, s)
+	}
+}
+
+// TestParseFloatRoundTrip checks bit-exactness over random float64 values
+// through every strconv formatting the runtime uses ('e' with fixed
+// precision like pageRankFormat, plus shortest and fixed 'f').
+func TestParseFloatRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		var v float64
+		switch rng.Intn(3) {
+		case 0:
+			v = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20))
+		case 1:
+			v = float64(rng.Int63()) / float64(1<<40) // rank-unit shapes
+		default:
+			v = math.Float64frombits(rng.Uint64())
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		for _, s := range []string{
+			strconv.FormatFloat(v, 'e', 8, 64),
+			strconv.FormatFloat(v, 'g', -1, 64),
+			strconv.FormatFloat(v, 'f', 6, 64),
+		} {
+			agreeFloat(t, s)
+		}
+	}
+}
+
+func TestParseFloatRandomJunk(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	alphabet := []byte("0123456789+-.eE x_")
+	for i := 0; i < 8000; i++ {
+		n := rng.Intn(28)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		agreeFloat(t, string(b))
+	}
+}
+
+func TestSplitByteMatchesBytesSplit(t *testing.T) {
+	f := func(line []byte) bool {
+		got := fastparse.SplitByte(nil, line, '|')
+		want := bytes.Split(line, []byte{'|'})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSplitByteReusesScratch pins the zero-alloc contract: resplitting
+// into a warmed scratch slice neither reallocates the headers nor copies
+// the fields (they alias the line).
+func TestSplitByteReusesScratch(t *testing.T) {
+	line := []byte("a|bb|ccc|dddd")
+	scratch := fastparse.SplitByte(nil, line, '|')
+	again := fastparse.SplitByte(scratch[:0], line, '|')
+	if &again[0] != &scratch[0] {
+		t.Error("scratch headers were reallocated")
+	}
+	if &again[0][0] != &line[0] {
+		t.Error("fields do not alias the input line")
+	}
+}
+
+func TestFieldsMatchesBytesFields(t *testing.T) {
+	check := func(line []byte) {
+		t.Helper()
+		got := fastparse.Fields(nil, line)
+		want := bytes.Fields(line)
+		if len(got) != len(want) {
+			t.Errorf("Fields(%q): %d fields, bytes.Fields %d", line, len(got), len(want))
+			return
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Errorf("Fields(%q)[%d] = %q, want %q", line, i, got[i], want[i])
+			}
+		}
+	}
+	cases := [][]byte{
+		nil, []byte(""), []byte("   "), []byte("one"), []byte("one two"),
+		[]byte("  leading"), []byte("trailing  "), []byte("a\tb\nc\vd\fe\rf g"),
+		[]byte("caf\xc3\xa9 au lait"),       // UTF-8 content words
+		[]byte("nbsp\xc2\xa0separated"),     // U+00A0, a Unicode space
+		[]byte("ideographic\xe3\x80\x80sp"), // U+3000
+		[]byte("\xff\xfe raw bytes \x80"),
+	}
+	for _, c := range cases {
+		check(c)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 3000; i++ {
+		n := rng.Intn(40)
+		b := make([]byte, n)
+		for j := range b {
+			if rng.Intn(4) == 0 {
+				b[j] = byte(rng.Intn(256)) // include non-ASCII and control bytes
+			} else {
+				b[j] = " \tabcdefgh"[rng.Intn(10)]
+			}
+		}
+		check(b)
+	}
+}
+
+// TestFieldsNonASCIIRestart pins the delegation rule: when a non-ASCII
+// byte appears after some fields were already collected, the fallback must
+// discard the partial ASCII parse instead of duplicating fields.
+func TestFieldsNonASCIIRestart(t *testing.T) {
+	line := []byte("one two\xc2\xa0three four")
+	got := fastparse.Fields(nil, line)
+	want := bytes.Fields(line)
+	if len(got) != len(want) {
+		t.Fatalf("got %d fields %q, want %d %q", len(got), got, len(want), want)
+	}
+}

@@ -1,0 +1,93 @@
+package fastparse_test
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"testing"
+
+	"mrtext/internal/fastparse"
+)
+
+func FuzzParseInt(f *testing.F) {
+	for _, s := range []string{
+		"0", "-1", "+42", "9223372036854775807", "-9223372036854775808",
+		"18446744073709551616", "", "x", "1.5", "007",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got, gerr := fastparse.ParseInt([]byte(s))
+		want, werr := strconv.ParseInt(s, 10, 64)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("ParseInt(%q): err %v, strconv err %v", s, gerr, werr)
+		}
+		if got != want {
+			t.Fatalf("ParseInt(%q) = %d, strconv = %d", s, got, want)
+		}
+		ugot, ugerr := fastparse.ParseUint([]byte(s))
+		uwant, uwerr := strconv.ParseUint(s, 10, 64)
+		if (ugerr == nil) != (uwerr == nil) {
+			t.Fatalf("ParseUint(%q): err %v, strconv err %v", s, ugerr, uwerr)
+		}
+		if ugot != uwant {
+			t.Fatalf("ParseUint(%q) = %d, strconv = %d", s, ugot, uwant)
+		}
+	})
+}
+
+func FuzzParseFloat(f *testing.F) {
+	for _, s := range []string{
+		"0", "-0.0", "1.5", "1e22", "1e-23", "1.23456789e-01",
+		"9007199254740993", "1e309", "5e-324", ".5", "1.", "1e5e5", "",
+		"17976931348623157000000000000000000000000000000000000000000000000000",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got, gerr := fastparse.ParseFloat([]byte(s))
+		if !floatSubset(s) {
+			if gerr == nil {
+				t.Fatalf("ParseFloat(%q) accepted input outside the subset grammar", s)
+			}
+			return
+		}
+		want, werr := strconv.ParseFloat(s, 64)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("ParseFloat(%q): err %v, strconv err %v", s, gerr, werr)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("ParseFloat(%q) = %v (bits %x), strconv = %v (bits %x)",
+				s, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	})
+}
+
+func FuzzFields(f *testing.F) {
+	f.Add([]byte("one two  three"))
+	f.Add([]byte("  \t\n "))
+	f.Add([]byte("caf\xc3\xa9 au\xc2\xa0lait"))
+	f.Add([]byte("a|b||c"))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		got := fastparse.Fields(nil, line)
+		want := bytes.Fields(line)
+		if len(got) != len(want) {
+			t.Fatalf("Fields(%q): %d fields, bytes.Fields %d", line, len(got), len(want))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("Fields(%q)[%d] = %q, want %q", line, i, got[i], want[i])
+			}
+		}
+		sgot := fastparse.SplitByte(nil, line, '|')
+		swant := bytes.Split(line, []byte{'|'})
+		if len(sgot) != len(swant) {
+			t.Fatalf("SplitByte(%q): %d fields, bytes.Split %d", line, len(sgot), len(swant))
+		}
+		for i := range sgot {
+			if !bytes.Equal(sgot[i], swant[i]) {
+				t.Fatalf("SplitByte(%q)[%d] = %q, want %q", line, i, sgot[i], swant[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,367 @@
+// Package ingestbench is the regression harness for the ingest fast
+// path: it drains the same DFS-resident datasets once through the
+// pre-fast-path pipeline (the bufio lineScanner plus the idiomatic
+// per-record kernels it was paired with — bytes.Fields tokenization,
+// bytes.Split field splitting, strconv parses through string
+// conversions) and once through the fast path (the block-batched arena
+// blockScanner plus the fastparse kernels over reused scratch). Both
+// pipelines fold every token into a checksum, so the tokenize/parse work
+// cannot be eliminated and the harness doubles as an end-to-end identity
+// check: serial and batched must agree on record count, byte count and
+// checksum for every workload.
+//
+// Like internal/spillpath, measurement is a hand-rolled loop rather than
+// testing.Benchmark so cmd/mrbench -ingestbench can run it long enough
+// for stable numbers (BENCH_ingest.json) while the package test runs a
+// small smoke. Wall time is the minimum over iterations; allocations are
+// counted over a steady-state window that starts warmupLines into the
+// drain, after the reader has opened its DFS block and the kernels'
+// scratch has grown to fit — the 1BRC figure of merit, which the fast
+// path holds at exactly zero per record. The dataset is written as a
+// single DFS block so the window contains no per-block (amortized)
+// transitions; split-boundary correctness is proven separately by the
+// byte-identity tests in internal/mr.
+package ingestbench
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"time"
+
+	"mrtext/internal/cluster"
+	"mrtext/internal/fastparse"
+	"mrtext/internal/mr"
+	"mrtext/internal/textgen"
+)
+
+// warmupLines is how many records each drain consumes before the
+// steady-state allocation window opens.
+const warmupLines = 2000
+
+// Run is one (workload, reader+kernel) measurement in BENCH_ingest.json.
+type Run struct {
+	Workload        string  `json:"workload"`
+	Config          string  `json:"config"` // "serial" or "batched"
+	Records         int64   `json:"records"`
+	Bytes           int64   `json:"bytes"`
+	WallMS          float64 `json:"wall_ms"`
+	GBPerSecPerCore float64 `json:"gb_per_sec_per_core"`
+	// AllocsPerRecord is measured over the steady-state window (see the
+	// package comment); 0 means the drain allocated nothing at all after
+	// warm-up.
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+	// Speedup is serial wall / this config's wall for the same workload;
+	// 1.0 for the serial baseline itself.
+	Speedup float64 `json:"speedup_vs_serial"`
+}
+
+// Report is the full harness output, serialized to BENCH_ingest.json.
+type Report struct {
+	Note       string `json:"note"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CorpusMB   int64  `json:"corpus_mb"`
+	ChunkKB    int    `json:"ingest_chunk_kb"`
+	Iters      int    `json:"iters"`
+	Runs       []Run  `json:"runs"`
+}
+
+// kernel is the per-line tokenize/parse work of one pipeline; Sum is the
+// checksum that keeps the work live and lets serial and batched variants
+// be compared for identity.
+type kernel interface {
+	Line(line []byte) error
+	Sum() int64
+	Reset()
+}
+
+// serialCorpusKernel is the pre-fast-path tokenizer: bytes.Fields, one
+// fresh [][]byte per line.
+type serialCorpusKernel struct{ sum int64 }
+
+func (k *serialCorpusKernel) Line(line []byte) error {
+	for _, w := range bytes.Fields(line) {
+		k.sum += int64(len(w)) + int64(w[0])
+	}
+	return nil
+}
+func (k *serialCorpusKernel) Sum() int64 { return k.sum }
+func (k *serialCorpusKernel) Reset()     { k.sum = 0 }
+
+// fastCorpusKernel is the fast-path tokenizer: fastparse.Fields into
+// reused scratch.
+type fastCorpusKernel struct {
+	sum   int64
+	words [][]byte
+}
+
+func (k *fastCorpusKernel) Line(line []byte) error {
+	k.words = fastparse.Fields(k.words[:0], line)
+	for _, w := range k.words {
+		k.sum += int64(len(w)) + int64(w[0])
+	}
+	return nil
+}
+func (k *fastCorpusKernel) Sum() int64 { return k.sum }
+func (k *fastCorpusKernel) Reset()     { k.sum = 0 }
+
+var pipe = []byte("|")
+
+// serialVisitsKernel is the pre-fast-path UserVisits parser: bytes.Split
+// plus strconv.ParseInt through a string conversion — the shape of the
+// per-record allocation bug the fast path removed from the access-log
+// mappers.
+type serialVisitsKernel struct{ sum int64 }
+
+func (k *serialVisitsKernel) Line(line []byte) error {
+	f := bytes.Split(line, pipe)
+	if len(f) < 7 {
+		return fmt.Errorf("ingestbench: malformed visit line %q", line)
+	}
+	v, err := strconv.ParseInt(string(f[3]), 10, 64)
+	if err != nil {
+		return fmt.Errorf("ingestbench: parsing revenue %q: %w", f[3], err)
+	}
+	k.sum += v + int64(len(f[1]))
+	return nil
+}
+func (k *serialVisitsKernel) Sum() int64 { return k.sum }
+func (k *serialVisitsKernel) Reset()     { k.sum = 0 }
+
+// fastVisitsKernel is the fast-path UserVisits parser: fastparse.SplitByte
+// into reused scratch plus fastparse.ParseInt on the raw field bytes.
+type fastVisitsKernel struct {
+	sum    int64
+	fields [][]byte
+}
+
+func (k *fastVisitsKernel) Line(line []byte) error {
+	k.fields = fastparse.SplitByte(k.fields[:0], line, '|')
+	if len(k.fields) < 7 {
+		return fmt.Errorf("ingestbench: malformed visit line %q", line)
+	}
+	v, err := fastparse.ParseInt(k.fields[3])
+	if err != nil {
+		return fmt.Errorf("ingestbench: parsing revenue %q: %w", k.fields[3], err)
+	}
+	k.sum += v + int64(len(k.fields[1]))
+	return nil
+}
+func (k *fastVisitsKernel) Sum() int64 { return k.sum }
+func (k *fastVisitsKernel) Reset()     { k.sum = 0 }
+
+// drainResult is one pipeline's figures, minimized over iterations.
+type drainResult struct {
+	records int64
+	bytes   int64
+	wall    time.Duration
+	allocs  float64 // per steady-state record
+	sum     int64
+}
+
+// drain runs the open→scan→tokenize pipeline iters times over the given
+// splits and keeps the minimum wall time and steady-state allocation
+// count. The kernel's scratch persists across iterations (steady state);
+// its checksum is reset per iteration and must be identical every time.
+func drain(splits []mr.Split, open func(mr.Split) (mr.LineReader, error), k kernel, iters int) (drainResult, error) {
+	res := drainResult{wall: 1<<63 - 1, allocs: float64(1 << 62)}
+	for it := 0; it < iters; it++ {
+		k.Reset()
+		runtime.GC() // quiesce so no concurrent GC work lands in the window
+		var before, after runtime.MemStats
+		var records, consumed int64
+		windowOpen := int64(-1) // record count when the window opened
+		t0 := time.Now()
+		for _, sp := range splits {
+			r, err := open(sp)
+			if err != nil {
+				return res, err
+			}
+			for {
+				_, line, ok, err := r.Next()
+				if err != nil {
+					return res, err
+				}
+				if !ok {
+					break
+				}
+				if err := k.Line(line); err != nil {
+					return res, err
+				}
+				records++
+				if records == warmupLines {
+					runtime.ReadMemStats(&before)
+					windowOpen = records
+				}
+			}
+			consumed += r.Consumed()
+			if err := r.Close(); err != nil {
+				return res, err
+			}
+		}
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&after)
+		if windowOpen < 0 {
+			return res, fmt.Errorf("ingestbench: dataset has %d records, below the %d-record warm-up", records, warmupLines)
+		}
+		steady := records - windowOpen
+		allocs := float64(after.Mallocs-before.Mallocs) / float64(steady)
+		if wall < res.wall {
+			res.wall = wall
+		}
+		if allocs < res.allocs {
+			res.allocs = allocs
+		}
+		if it > 0 && (records != res.records || k.Sum() != res.sum) {
+			return res, fmt.Errorf("ingestbench: nondeterministic drain: %d records sum %d, then %d records sum %d",
+				res.records, res.sum, records, k.Sum())
+		}
+		res.records, res.bytes, res.sum = records, consumed, k.Sum()
+	}
+	return res, nil
+}
+
+// workload pairs a generated dataset with its two kernel variants.
+type workload struct {
+	name     string
+	file     string
+	generate func(c *cluster.Cluster) error
+	serial   kernel
+	fast     kernel
+}
+
+// Do runs the harness: it stands up a single-node unthrottled cluster
+// whose block size covers each dataset in one block, generates the two
+// text-centric datasets (Zipf corpus and UserVisits log), and measures
+// the serial and batched pipelines over each.
+func Do(megabytes int64, chunkBytes, iters int, seed int64) (Report, error) {
+	if megabytes < 1 {
+		megabytes = 1
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	target := megabytes << 20
+
+	cfg := cluster.Fast(1)
+	cfg.Replication = 1
+	// One block per dataset: the steady-state window then measures the
+	// scan/tokenize loop alone, with no per-block (amortized) DFS
+	// transitions inside it.
+	cfg.BlockSize = target + (1 << 20)
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+
+	workloads := []workload{
+		{
+			name: "corpus-tokenize",
+			file: "corpus.txt",
+			generate: func(c *cluster.Cluster) error {
+				return generate(c, "corpus.txt", func(w io.Writer) error {
+					_, err := textgen.Corpus(w, corpusConfig(seed), target)
+					return err
+				})
+			},
+			serial: &serialCorpusKernel{},
+			fast:   &fastCorpusKernel{},
+		},
+		{
+			name: "visits-parse",
+			file: "visits.log",
+			generate: func(c *cluster.Cluster) error {
+				return generate(c, "visits.log", func(w io.Writer) error {
+					_, err := textgen.UserVisits(w, logConfig(seed), target)
+					return err
+				})
+			},
+			serial: &serialVisitsKernel{},
+			fast:   &fastVisitsKernel{},
+		},
+	}
+
+	rep := Report{
+		Note: "ingest fast path: serial = bufio lineScanner + bytes.Fields/bytes.Split/strconv(string(...)); " +
+			"batched = arena blockScanner + fastparse over reused scratch; allocs/record over the steady-state window",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CorpusMB:   megabytes,
+		ChunkKB:    chunkBytes >> 10,
+		Iters:      iters,
+	}
+	for _, wl := range workloads {
+		if err := wl.generate(c); err != nil {
+			return rep, fmt.Errorf("generating %s: %w", wl.file, err)
+		}
+		splits, err := mr.SplitsOf(c.FS, []string{wl.file})
+		if err != nil {
+			return rep, err
+		}
+		serial, err := drain(splits, func(sp mr.Split) (mr.LineReader, error) {
+			return mr.OpenSplitSerial(c.FS, sp, 0)
+		}, wl.serial, iters)
+		if err != nil {
+			return rep, fmt.Errorf("%s serial: %w", wl.name, err)
+		}
+		batched, err := drain(splits, func(sp mr.Split) (mr.LineReader, error) {
+			return mr.OpenSplitBatched(c.FS, sp, 0, chunkBytes)
+		}, wl.fast, iters)
+		if err != nil {
+			return rep, fmt.Errorf("%s batched: %w", wl.name, err)
+		}
+		// The two pipelines scanned the same file: identical records,
+		// bytes and token checksum, or one of the readers is wrong.
+		if serial.records != batched.records || serial.bytes != batched.bytes || serial.sum != batched.sum {
+			return rep, fmt.Errorf("%s: serial (%d records, %d bytes, sum %d) != batched (%d records, %d bytes, sum %d)",
+				wl.name, serial.records, serial.bytes, serial.sum, batched.records, batched.bytes, batched.sum)
+		}
+		rep.Runs = append(rep.Runs,
+			toRun(wl.name, "serial", serial, serial),
+			toRun(wl.name, "batched", batched, serial))
+	}
+	return rep, nil
+}
+
+func toRun(workload, config string, r, serial drainResult) Run {
+	return Run{
+		Workload:        workload,
+		Config:          config,
+		Records:         r.records,
+		Bytes:           r.bytes,
+		WallMS:          float64(r.wall.Microseconds()) / 1e3,
+		GBPerSecPerCore: float64(r.bytes) / r.wall.Seconds() / 1e9,
+		AllocsPerRecord: r.allocs,
+		Speedup:         serial.wall.Seconds() / r.wall.Seconds(),
+	}
+}
+
+// corpusConfig and logConfig are the dataset defaults reseeded with the
+// harness seed, so -seed varies the text without changing its shape.
+func corpusConfig(seed int64) textgen.CorpusConfig {
+	cfg := textgen.DefaultCorpus()
+	cfg.Seed = seed
+	return cfg
+}
+
+func logConfig(seed int64) textgen.LogConfig {
+	cfg := textgen.DefaultLog()
+	cfg.Seed = seed
+	return cfg
+}
+
+// generate writes one dataset into the DFS from node 0.
+func generate(c *cluster.Cluster, name string, fill func(io.Writer) error) error {
+	w, err := c.FS.Create(name, 0)
+	if err != nil {
+		return err
+	}
+	if err := fill(w); err != nil {
+		return errors.Join(err, w.Close())
+	}
+	return w.Close()
+}

@@ -1,0 +1,46 @@
+package ingestbench
+
+import "testing"
+
+// TestHarnessSmoke runs the harness at a small scale: every pipeline must
+// drain (the harness itself fails on serial/batched record, byte or
+// checksum divergence), and the batched pipelines must hold the
+// steady-state allocation count at exactly zero per record — the
+// ground-truth claim behind the //mrlint:hotpath annotations on the
+// blockScanner and the fastparse kernels, pinned here to the real
+// compiler and runtime. Race instrumentation inflates allocation counts,
+// so the ==0 assertion is relaxed under -race (raceEnabled), matching the
+// alloccheck ground-truth convention.
+func TestHarnessSmoke(t *testing.T) {
+	rep, err := Do(4, 0, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 4 {
+		t.Fatalf("got %d runs, want 4 (2 workloads x 2 configs)", len(rep.Runs))
+	}
+	for _, r := range rep.Runs {
+		if r.Records == 0 || r.Bytes == 0 || r.WallMS <= 0 || r.GBPerSecPerCore <= 0 {
+			t.Errorf("%s/%s: degenerate run %+v", r.Workload, r.Config, r)
+		}
+		if r.Config == "serial" && r.Speedup != 1.0 {
+			t.Errorf("%s serial: speedup %v, want 1.0", r.Workload, r.Speedup)
+		}
+		if r.Config == "batched" && r.AllocsPerRecord != 0 && !raceEnabled {
+			t.Errorf("%s batched: %.4f allocs/record in steady state, want 0", r.Workload, r.AllocsPerRecord)
+		}
+	}
+}
+
+// TestHarnessChunkOverride exercises the explicit chunk knob: a tiny
+// arena forces constant refills and slides, and the drain must still be
+// byte- and checksum-identical to the serial reader (asserted inside Do).
+func TestHarnessChunkOverride(t *testing.T) {
+	rep, err := Do(1, 4<<10, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ChunkKB != 4 {
+		t.Fatalf("ChunkKB = %d, want 4", rep.ChunkKB)
+	}
+}

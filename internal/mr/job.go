@@ -186,6 +186,15 @@ type Job struct {
 	// start — the pre-pipelining behavior.
 	SerialShuffle bool
 
+	// IngestChunkBytes sizes the batched split reader's arena reads
+	// (default 1 MiB): the granularity at which a map task pulls split
+	// bytes from DFS before scanning lines out of the arena in place.
+	IngestChunkBytes int64
+	// SerialIngest disables the block-batched split reader, reverting to
+	// the bufio per-line scanner — the pre-fast-path behavior kept as the
+	// ingest benchmark baseline (mirroring SerialShuffle).
+	SerialIngest bool
+
 	// Trace records the job's span timeline (see internal/trace). Nil
 	// falls back to the process-wide trace.Default(); when that is nil
 	// too, tracing is off and every span site reduces to a nil check.
@@ -255,6 +264,9 @@ func (j *Job) withDefaults(totalReduceSlots int) (*Job, error) {
 	}
 	if cp.ShuffleBufferBytes <= 0 {
 		cp.ShuffleBufferBytes = 32 << 20
+	}
+	if cp.IngestChunkBytes <= 0 {
+		cp.IngestChunkBytes = defaultIngestChunk
 	}
 	if cp.StaticSpillPercent <= 0 || cp.StaticSpillPercent > 1 {
 		cp.StaticSpillPercent = spillmatch.DefaultStaticPercent

@@ -52,7 +52,7 @@ type mapCollector struct {
 	freq  *freqbuf.Buffer
 	cache *freqbuf.Cache // node cache for top-k sharing (nil if disabled)
 
-	scanner    *lineScanner // the task's input scanner (for record-count extrapolation)
+	scanner    lineSource // the task's input scanner (for record-count extrapolation)
 	emitted    int64
 	combineAcc time.Duration // combine time spent inside freqbuf (via the timed combiner)
 	published  bool
@@ -425,7 +425,7 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node, sl
 	}()
 
 	// Map goroutine: read the split and apply map().
-	scanner, err := openLines(c.FS, split, node)
+	scanner, err := openSplit(c.FS, split, node, job)
 	if err != nil {
 		buf.Close()
 		<-supportErr

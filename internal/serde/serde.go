@@ -384,6 +384,28 @@ func EncodeRankRecord(r RankRecord) []byte {
 	return dst
 }
 
+// AppendRankRecord appends the rank-record encoding to dst with the
+// outlinks as byte slices — the allocation-free encoder for map-side hot
+// paths, where the links are subslices of the input line rather than
+// strings. The bytes produced are identical to EncodeRankRecord on the
+// equivalent RankRecord.
+//
+//mrlint:hotpath
+func AppendRankRecord(dst []byte, rank float64, graph bool, outlinks [][]byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rank))
+	if graph {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(outlinks)))
+	for _, l := range outlinks {
+		dst = binary.AppendUvarint(dst, uint64(len(l)))
+		dst = append(dst, l...)
+	}
+	return dst
+}
+
 // DecodeRankRecord decodes an EncodeRankRecord value.
 func DecodeRankRecord(b []byte) (RankRecord, error) {
 	var r RankRecord

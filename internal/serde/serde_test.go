@@ -228,6 +228,37 @@ func TestRankRecordRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAppendRankRecordMatchesEncode: the zero-alloc byte-slice encoder
+// must be byte-identical to EncodeRankRecord on the equivalent record, so
+// the map-side rewrite cannot change intermediate (and thus job) bytes.
+func TestAppendRankRecordMatchesEncode(t *testing.T) {
+	cases := []RankRecord{
+		{},
+		{Rank: 0.125},
+		{Rank: 1e-9, Graph: true},
+		{Graph: true, Outlinks: []string{"a", "bb", "ccc"}},
+		{Rank: 42, Graph: true, Outlinks: []string{""}},
+		{Rank: -3.5, Outlinks: []string{"page/x", "page/y"}},
+	}
+	for _, r := range cases {
+		var links [][]byte
+		for _, l := range r.Outlinks {
+			links = append(links, []byte(l))
+		}
+		got := AppendRankRecord(nil, r.Rank, r.Graph, links)
+		want := EncodeRankRecord(r)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%+v: append %x, encode %x", r, got, want)
+		}
+	}
+	// Appending to existing bytes preserves the prefix.
+	pre := []byte("prefix")
+	out := AppendRankRecord(pre, 1, false, nil)
+	if !bytes.HasPrefix(out, pre) {
+		t.Error("prefix clobbered")
+	}
+}
+
 func TestUvarintLen(t *testing.T) {
 	for _, v := range []uint64{0, 1, 127, 128, 1 << 14, 1<<14 - 1, 1 << 60, math.MaxUint64} {
 		var buf [10]byte
