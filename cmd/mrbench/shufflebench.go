@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"mrtext"
+	"mrtext/internal/trace/critpath"
 )
 
 // The shuffle regression harness: the same throttled SynText job under the
@@ -13,7 +14,10 @@ import (
 // geometry is chosen so the pipeline has something to overlap — two full
 // map waves (16 one-MiB splits over 8 map slots) on a throttled fabric —
 // and the report pins both the wall-clock effect and the staging activity
-// (early segments, spills, peak) for each fan-out.
+// (early segments, spills, peak) for each fan-out. Every run is traced and
+// fed through the critical-path analyzer, so each configuration also
+// carries its blame attribution, and the fan-out configurations explain
+// where their map-wall inflation over the serial baseline went.
 
 // shuffleBenchRun is one configuration's measurement in BENCH_shuffle.json.
 type shuffleBenchRun struct {
@@ -29,6 +33,26 @@ type shuffleBenchRun struct {
 	// ReduceSpeedup is serial reduce-wall / this config's reduce-wall;
 	// 1.0 for the serial baseline itself.
 	ReduceSpeedup float64 `json:"reduce_speedup_vs_serial"`
+	// MapBlameMS and ReduceBlameMS split the phase walls of the reported
+	// iteration by cause, from the critical-path analyzer.
+	MapBlameMS    map[string]float64 `json:"map_blame_ms,omitempty"`
+	ReduceBlameMS map[string]float64 `json:"reduce_blame_ms,omitempty"`
+	// MapInflation attributes this configuration's map-wall excess over
+	// the serial baseline to fan-out causes; nil for the baseline itself.
+	MapInflation *mapInflation `json:"map_inflation_vs_serial,omitempty"`
+}
+
+// mapInflation explains a fan-out configuration's map-wall inflation over
+// the serial baseline: per-cause blame deltas for the causes the copier
+// fan-out can introduce (copier CPU steal, staging backpressure, fabric
+// and retry waits, perturbed spill/sort timing, scheduling gaps — map
+// compute itself is deliberately excluded), plus whatever the deltas do
+// not cover.
+type mapInflation struct {
+	InflationMS      float64            `json:"inflation_ms"`
+	AttributedMS     map[string]float64 `json:"attributed_ms"`
+	ResidualMS       float64            `json:"residual_ms"`
+	ResidualFraction float64            `json:"residual_fraction"`
 }
 
 // shuffleBenchReport is the BENCH_shuffle.json schema.
@@ -40,9 +64,61 @@ type shuffleBenchReport struct {
 	Runs     []shuffleBenchRun `json:"runs"`
 }
 
+// fanOutCauses are the blame causes a copier fan-out can add to the map
+// phase. Map compute is excluded on purpose: attributing inflation to
+// "the maps got slower" would be restating the symptom.
+var fanOutCauses = []critpath.Cause{
+	critpath.CauseCopierSteal,
+	critpath.CauseStagingBackpressure,
+	critpath.CauseFabricWait,
+	critpath.CauseFetchRetry,
+	critpath.CauseSpillSort,
+	critpath.CauseScheduler,
+}
+
+// blameMS renders one phase's non-zero causes as a name→milliseconds map.
+func blameMS(p critpath.PhaseBlame) map[string]float64 {
+	m := make(map[string]float64)
+	for c := critpath.Cause(0); c < critpath.NumCauses; c++ {
+		if p.Causes[c] > 0 {
+			m[c.String()] = float64(p.Causes[c].Microseconds()) / 1e3
+		}
+	}
+	return m
+}
+
+// attributeInflation explains cfg's map-wall inflation over the serial
+// baseline as per-cause blame deltas. Deltas are clamped at zero (a cause
+// that shrank does not offset one that grew) and the attributed total is
+// capped at the inflation itself, so the residual fraction stays in [0,1].
+func attributeInflation(serial, cfg shuffleBenchRun) *mapInflation {
+	inf := &mapInflation{
+		InflationMS:  cfg.MapWallMS - serial.MapWallMS,
+		AttributedMS: make(map[string]float64),
+	}
+	var attributed float64
+	for _, c := range fanOutCauses {
+		d := cfg.MapBlameMS[c.String()] - serial.MapBlameMS[c.String()]
+		if d > 0 {
+			inf.AttributedMS[c.String()] = d
+			attributed += d
+		}
+	}
+	if inf.InflationMS > 0 {
+		covered := attributed
+		if covered > inf.InflationMS {
+			covered = inf.InflationMS
+		}
+		inf.ResidualMS = inf.InflationMS - covered
+		inf.ResidualFraction = inf.ResidualMS / inf.InflationMS
+	}
+	return inf
+}
+
 // runShuffleBench measures the serial shuffle against copier fan-outs 1, 2
 // and 4 and writes the report to out. Each configuration runs iters times
-// on a fresh cluster; the iteration with the lowest wall time is reported.
+// on a fresh cluster; the iteration with the lowest wall time is reported,
+// and its trace is the one the blame attribution analyzes.
 func runShuffleBench(out string, iters int, megabytes int64) error {
 	if iters < 1 {
 		iters = 1
@@ -64,13 +140,18 @@ func runShuffleBench(out string, iters int, megabytes int64) error {
 	rep := shuffleBenchReport{App: "syntext", CorpusMB: megabytes, Nodes: nodes, Iters: iters}
 	for _, bc := range cfgs {
 		var best *mrtext.Result
+		var bestReport *mrtext.TraceReport
 		for it := 0; it < iters; it++ {
-			res, err := runShuffleConfig(nodes, target, bc.copiers)
+			res, tr, err := runShuffleConfig(nodes, target, bc.copiers)
 			if err != nil {
 				return fmt.Errorf("%s iter %d: %w", bc.name, it, err)
 			}
 			if best == nil || res.Wall < best.Wall {
-				best = res
+				report, err := mrtext.AnalyzeTrace(tr)
+				if err != nil {
+					return fmt.Errorf("%s iter %d: analyzing trace: %w", bc.name, it, err)
+				}
+				best, bestReport = res, report
 			}
 		}
 		rep.Runs = append(rep.Runs, shuffleBenchRun{
@@ -83,12 +164,17 @@ func runShuffleBench(out string, iters int, megabytes int64) error {
 			StagedSpills:  best.ShuffleStagedSpills,
 			StagingPeakB:  best.ShuffleStagingPeak,
 			FetchRetries:  best.ShuffleFetchRetries,
+			MapBlameMS:    blameMS(bestReport.Map),
+			ReduceBlameMS: blameMS(bestReport.Reduce),
 		})
 	}
-	serialReduce := rep.Runs[0].ReduceWallMS
+	serial := rep.Runs[0]
 	for i := range rep.Runs {
 		if rep.Runs[i].ReduceWallMS > 0 {
-			rep.Runs[i].ReduceSpeedup = serialReduce / rep.Runs[i].ReduceWallMS
+			rep.Runs[i].ReduceSpeedup = serial.ReduceWallMS / rep.Runs[i].ReduceWallMS
+		}
+		if rep.Runs[i].Copiers > 0 {
+			rep.Runs[i].MapInflation = attributeInflation(serial, rep.Runs[i])
 		}
 	}
 
@@ -104,23 +190,27 @@ func runShuffleBench(out string, iters int, megabytes int64) error {
 		fmt.Printf("%-10s wall %8.1f ms (map %8.1f, shuffle+reduce %8.1f, %.2fx) early %3d spills %3d peak %8d B\n",
 			r.Config, r.WallMS, r.MapWallMS, r.ReduceWallMS, r.ReduceSpeedup,
 			r.EarlySegments, r.StagedSpills, r.StagingPeakB)
+		if r.MapInflation != nil {
+			fmt.Printf("           map inflation %+.1f ms, residual %.1f ms (%.0f%% unattributed)\n",
+				r.MapInflation.InflationMS, r.MapInflation.ResidualMS, 100*r.MapInflation.ResidualFraction)
+		}
 	}
 	fmt.Printf("wrote %s\n", out)
 	return nil
 }
 
-// runShuffleConfig executes one throttled SynText job with the given
-// copier fan-out (0 = serial shuffle) on a fresh cluster.
-func runShuffleConfig(nodes int, target int64, copiers int) (*mrtext.Result, error) {
+// runShuffleConfig executes one traced, throttled SynText job with the
+// given copier fan-out (0 = serial shuffle) on a fresh cluster.
+func runShuffleConfig(nodes int, target int64, copiers int) (*mrtext.Result, *mrtext.Tracer, error) {
 	cfg := mrtext.LocalSmallCluster()
 	cfg.Nodes = nodes
 	cfg.BlockSize = 1 << 20 // two full map waves at 16 MiB over 8 slots
 	c, err := mrtext.NewCluster(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := mrtext.GenerateCorpus(c, "corpus.txt", mrtext.DefaultCorpus(), target); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	job := mrtext.SynText(mrtext.SynTextConfig{CPUFactor: 4, Storage: 0.8}, "corpus.txt")
 	if copiers <= 0 {
@@ -128,5 +218,11 @@ func runShuffleConfig(nodes int, target int64, copiers int) (*mrtext.Result, err
 	} else {
 		job.ShuffleCopiers = copiers
 	}
-	return mrtext.Run(c, job)
+	tr := mrtext.NewTracer(0)
+	job.Trace = tr
+	res, err := mrtext.Run(c, job)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tr, nil
 }

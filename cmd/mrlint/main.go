@@ -73,11 +73,13 @@ var analyzers = []*analysis.Analyzer{
 // runtime's documented public surface. Other packages are exempt so
 // scratch code and experiment plumbing don't demand godoc polish.
 var docCheckedPkgs = map[string]bool{
-	"mrtext/internal/mr":       true,
-	"mrtext/internal/kvio":     true,
-	"mrtext/internal/trace":    true,
-	"mrtext/internal/chaos":    true,
-	"mrtext/internal/spillbuf": true,
+	"mrtext/internal/mr":         true,
+	"mrtext/internal/kvio":       true,
+	"mrtext/internal/trace":      true,
+	"mrtext/internal/chaos":      true,
+	"mrtext/internal/spillbuf":   true,
+	"mrtext/internal/metrics":    true,
+	"mrtext/internal/pprofserve": true,
 }
 
 // finding is one reportable diagnostic with its position resolved.

@@ -35,6 +35,8 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-counter details")
 		traceOut  = flag.String("trace", "", "write a Chrome/Perfetto trace of the job to this file")
 		gantt     = flag.Bool("gantt", false, "print a terminal Gantt chart of the job timeline")
+		traceRep  = flag.Bool("trace-report", false, "print the critical-path blame report and a Gantt chart with the critical path highlighted")
+		metricsJS = flag.String("metrics-json", "", "write the final metrics snapshot (counters + histogram summaries) as JSON to this file")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and live expvar metrics on this address (e.g. localhost:6060)")
 		chaosSeed = flag.Int64("chaos-seed", 0, "fault-injection seed (schedule is deterministic per seed)")
 		chaosFail = flag.Float64("chaos-fail-rate", 0, "per-attempt fault probability in [0,1] (0 disables injection)")
@@ -140,7 +142,7 @@ func main() {
 	job.IngestChunkBytes = *ingChunk << 10
 
 	var tr *mrtext.Tracer
-	if *traceOut != "" || *gantt {
+	if *traceOut != "" || *gantt || *traceRep {
 		tr = mrtext.NewTracer(0)
 		job.Trace = tr
 	}
@@ -171,10 +173,27 @@ func main() {
 			fmt.Printf("%-24s %d\n", name, res.Agg.Counters[name])
 		}
 	}
-	if *gantt {
+	if *traceRep {
+		report, err := mrtext.AnalyzeTrace(tr)
+		if err != nil {
+			die(err)
+		}
+		if err := report.WriteText(os.Stdout); err != nil {
+			die(err)
+		}
+		if err := mrtext.WriteGanttMarked(os.Stdout, tr, report, 100); err != nil {
+			die(err)
+		}
+	} else if *gantt {
 		if err := mrtext.WriteGantt(os.Stdout, tr, 100); err != nil {
 			die(err)
 		}
+	}
+	if *metricsJS != "" {
+		if err := writeMetricsFile(*metricsJS, res); err != nil {
+			die(err)
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", *metricsJS)
 	}
 	if *traceOut != "" {
 		if err := writeTraceFile(*traceOut, tr); err != nil {
@@ -185,6 +204,17 @@ func main() {
 		}
 		fmt.Printf("wrote trace to %s (load it at ui.perfetto.dev)\n", *traceOut)
 	}
+}
+
+func writeMetricsFile(path string, res *mrtext.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := mrtext.WriteMetricsDump(f, res.Agg); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
 }
 
 func writeTraceFile(path string, tr *mrtext.Tracer) error {

@@ -1,19 +1,24 @@
 // Command mrtracecheck validates Chrome/Perfetto trace files written by
 // mrrun -trace or mrbench -trace and prints a short summary per file. It
 // exits non-zero if any file fails validation, which makes it usable as a
-// CI gate on trace artifacts.
+// CI gate on trace artifacts. With -report it additionally parses each
+// trace, reconstructs the job's critical path, and prints the blame
+// report — so a recorded artifact can be analyzed offline, without the
+// process that produced it.
 //
 // Usage:
 //
-//	mrtracecheck <trace.json> [<trace.json>...]
+//	mrtracecheck [-report] <trace.json> [<trace.json>...]
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
 	"mrtext/internal/trace"
+	"mrtext/internal/trace/critpath"
 )
 
 // summary counts the event phases of one trace document. The field set
@@ -26,7 +31,7 @@ type summary struct {
 	} `json:"traceEvents"`
 }
 
-func check(path string) error {
+func check(path string, report bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -53,17 +58,30 @@ func check(path string) error {
 	}
 	fmt.Printf("%s: ok — %d spans (%.1f ms busy), %d instants, %d metadata rows\n",
 		path, spans, busyUS/1000, instants, meta)
-	return nil
+	if !report {
+		return nil
+	}
+	events, err := trace.ParseJSON(data)
+	if err != nil {
+		return err
+	}
+	rep, err := critpath.Analyze(events, critpath.Options{})
+	if err != nil {
+		return err
+	}
+	return rep.WriteText(os.Stdout)
 }
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: mrtracecheck <trace.json>...")
+	report := flag.Bool("report", false, "reconstruct the critical path of each trace and print the blame report")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: mrtracecheck [-report] <trace.json>...")
 		os.Exit(2)
 	}
 	failed := false
-	for _, path := range os.Args[1:] {
-		if err := check(path); err != nil {
+	for _, path := range flag.Args() {
+		if err := check(path, *report); err != nil {
 			fmt.Fprintf(os.Stderr, "mrtracecheck: %s: %v\n", path, err)
 			failed = true
 		}

@@ -1,0 +1,312 @@
+package metrics
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBucketIndexMonotoneAndBounded checks the bucket math invariants the
+// quantile error bound rests on: the index is monotone in the value, the
+// value lands inside [bucketLow, bucketHigh] of its bucket, and bucket
+// width stays within 1/2^histSubBits of the lower bound.
+func TestBucketIndexMonotoneAndBounded(t *testing.T) {
+	vals := []uint64{0, 1, 2, 15, 16, 17, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, 1<<20 + 1, 1 << 40, 1<<63 - 1, 1 << 63, ^uint64(0)}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		vals = append(vals, rng.Uint64()>>uint(rng.Intn(64)))
+	}
+	prevIdx := -1
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, v := range vals {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range [0,%d)", v, idx, histBuckets)
+		}
+		if idx < prevIdx {
+			t.Fatalf("bucketIndex not monotone: value %d got index %d after %d", v, idx, prevIdx)
+		}
+		prevIdx = idx
+		lo, hi := bucketLow(idx), bucketHigh(idx)
+		if v < lo || v > hi {
+			t.Fatalf("value %d outside its bucket %d bounds [%d,%d]", v, idx, lo, hi)
+		}
+		if lo > 0 && hi-lo > 0 {
+			if rel := float64(hi-lo) / float64(lo); rel > 1.0/histSubCount {
+				t.Fatalf("bucket %d [%d,%d] relative width %.4f > %.4f", idx, lo, hi, rel, 1.0/histSubCount)
+			}
+		}
+	}
+}
+
+// TestHistogramQuantileErrorBound draws random samples from several
+// distributions and checks every estimated quantile against the exact
+// order statistic: never below it, and above by at most the documented
+// 1/2^histSubBits relative bound.
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	draws := []struct {
+		name string
+		gen  func() int64
+	}{
+		{"uniform", func() int64 { return rng.Int63n(1 << 30) }},
+		{"exp-tail", func() int64 { return int64(rng.ExpFloat64() * 1e6) }},
+		{"small", func() int64 { return rng.Int63n(20) }},
+		{"bimodal", func() int64 {
+			if rng.Intn(10) == 0 {
+				return 1<<40 + rng.Int63n(1<<38)
+			}
+			return 1000 + rng.Int63n(1000)
+		}},
+	}
+	for _, d := range draws {
+		h := &Histogram{name: d.name}
+		n := 5000
+		exact := make([]int64, n)
+		for i := range exact {
+			v := d.gen()
+			exact[i] = v
+			h.Record(v)
+		}
+		sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+		s := h.Snapshot()
+		if s.Count != uint64(n) {
+			t.Fatalf("%s: count %d, want %d", d.name, s.Count, n)
+		}
+		for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+			rank := int(q * float64(n))
+			if float64(rank) < q*float64(n) {
+				rank++
+			}
+			if rank < 1 {
+				rank = 1
+			}
+			want := exact[rank-1]
+			got := s.Quantile(q)
+			if got < want {
+				t.Errorf("%s: q=%g estimate %d below exact %d", d.name, q, got, want)
+			}
+			limit := want + want/histSubCount + 1
+			if got > limit {
+				t.Errorf("%s: q=%g estimate %d above bound %d (exact %d)", d.name, q, got, limit, want)
+			}
+		}
+		if s.Quantile(1) != s.Max || s.Max != exact[n-1] {
+			t.Errorf("%s: p100 %d / max %d, want exact max %d", d.name, s.Quantile(1), s.Max, exact[n-1])
+		}
+	}
+}
+
+// randomSnapshot builds a histogram snapshot from count random records.
+func randomSnapshot(rng *rand.Rand, count int) HistogramSnapshot {
+	h := &Histogram{}
+	for i := 0; i < count; i++ {
+		h.Record(rng.Int63n(1 << uint(1+rng.Intn(40))))
+	}
+	return h.Snapshot()
+}
+
+// merged returns a.Merge(b) without mutating either input.
+func merged(a, b HistogramSnapshot) HistogramSnapshot {
+	out := a
+	out.Counts = append([]uint64(nil), a.Counts...)
+	out.Merge(b)
+	return out
+}
+
+// equalDist compares everything except the Name, trimming trailing empty
+// buckets so differently-sized count slices with equal content match.
+func equalDist(a, b HistogramSnapshot) bool {
+	trim := func(c []uint64) []uint64 {
+		for len(c) > 0 && c[len(c)-1] == 0 {
+			c = c[:len(c)-1]
+		}
+		return c
+	}
+	return a.Count == b.Count && a.Sum == b.Sum && a.Max == b.Max &&
+		reflect.DeepEqual(trim(a.Counts), trim(b.Counts))
+}
+
+// TestHistogramMergeAssociativeCommutative checks the algebra that makes
+// per-task histograms aggregate safely in any order.
+func TestHistogramMergeAssociativeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		a := randomSnapshot(rng, 1+rng.Intn(200))
+		b := randomSnapshot(rng, 1+rng.Intn(200))
+		c := randomSnapshot(rng, rng.Intn(100)) // possibly empty
+		if ab, ba := merged(a, b), merged(b, a); !equalDist(ab, ba) {
+			t.Fatalf("trial %d: merge not commutative: %+v vs %+v", trial, ab, ba)
+		}
+		left := merged(merged(a, b), c)
+		right := merged(a, merged(b, c))
+		if !equalDist(left, right) {
+			t.Fatalf("trial %d: merge not associative: %+v vs %+v", trial, left, right)
+		}
+		if left.Count != a.Count+b.Count+c.Count || left.Sum != a.Sum+b.Sum+c.Sum {
+			t.Fatalf("trial %d: merged totals off: %+v", trial, left)
+		}
+	}
+}
+
+// TestHistogramRegistry pins registry identity: same name, same pointer;
+// snapshots sorted by name; reset empties without unregistering.
+func TestHistogramRegistry(t *testing.T) {
+	a := GetHistogram("test.registry.a")
+	b := GetHistogram("test.registry.b")
+	if GetHistogram("test.registry.a") != a {
+		t.Fatal("GetHistogram did not return the cached instance")
+	}
+	a.Record(5)
+	b.Record(7)
+	var gotA, gotB bool
+	prev := ""
+	for _, s := range HistogramSnapshots() {
+		if s.Name < prev {
+			t.Fatalf("snapshots not sorted: %q after %q", s.Name, prev)
+		}
+		prev = s.Name
+		switch s.Name {
+		case "test.registry.a":
+			gotA = s.Count == 1
+		case "test.registry.b":
+			gotB = s.Count == 1
+		}
+	}
+	if !gotA || !gotB {
+		t.Fatalf("registry snapshots missing recorded histograms (a=%v b=%v)", gotA, gotB)
+	}
+	ResetHistograms()
+	if s := a.Snapshot(); s.Count != 0 || s.Sum != 0 || s.Max != 0 || len(s.Counts) != 0 {
+		t.Fatalf("reset left state behind: %+v", s)
+	}
+}
+
+// TestGroundTruthHistogramRecord is the AllocsPerRun gate from the
+// acceptance criteria: the record path must not allocate, plain and under
+// -race (where only the ==0 assertion is relaxed; the instrumented run
+// still exercises the path).
+func TestGroundTruthHistogramRecord(t *testing.T) {
+	h := GetHistogram("test.allocs.record")
+	defer h.Reset()
+	var v int64
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(v)
+		v += 1 << 10
+	})
+	if allocs != 0 && !raceEnabled {
+		t.Fatalf("Histogram.Record allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestHistogramConcurrentRecord hammers one histogram from several
+// goroutines and checks the totals add up — the lock-free counters must
+// not lose updates (run under -race in CI).
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := &Histogram{name: "concurrent"}
+	const workers, per = 8, 2000
+	done := make(chan int64)
+	for w := 0; w < workers; w++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			var sum int64
+			for i := 0; i < per; i++ {
+				v := rng.Int63n(1 << 20)
+				h.Record(v)
+				sum += v
+			}
+			done <- sum
+		}(int64(w))
+	}
+	var wantSum int64
+	for w := 0; w < workers; w++ {
+		wantSum += <-done
+	}
+	s := h.Snapshot()
+	if s.Count != workers*per || s.Sum != wantSum {
+		t.Fatalf("lost updates: count %d sum %d, want %d / %d", s.Count, s.Sum, workers*per, wantSum)
+	}
+	var bucketSum uint64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket counts sum %d != count %d", bucketSum, s.Count)
+	}
+}
+
+// TestWritePrometheus smoke-checks the exposition format: the op/wait
+// families are present, and a recorded histogram renders cumulative
+// buckets ending in +Inf with consistent _count.
+func TestWritePrometheus(t *testing.T) {
+	EnableLive()
+	defer DisableLive()
+	tm := NewTaskMetrics()
+	tm.Add(OpShuffle, 3*time.Millisecond)
+	tm.Inc(CtrShuffleBytes, 99)
+	h := GetHistogram("test.prom.ns")
+	defer h.Reset()
+	h.Record(100)
+	h.Record(200000)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"mrtext_op_ns_total{op=\"shuffle\"} 3000000",
+		"mrtext_wait_ns_total{goroutine=\"map\"} 0",
+		"mrtext_counter_total{name=\"shuffle.bytes\"} 99",
+		"# TYPE mrtext_test_prom_ns histogram",
+		"mrtext_test_prom_ns_bucket{le=\"+Inf\"} 2",
+		"mrtext_test_prom_ns_count 2",
+		"mrtext_test_prom_ns_sum 200100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestDumpJSON checks the -metrics-json payload shape: ops and counters
+// from the snapshot, histogram summaries from the registry.
+func TestDumpJSON(t *testing.T) {
+	h := GetHistogram("test.dump.ns")
+	defer h.Reset()
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i * 1000)
+	}
+	var s Snapshot
+	s.Ops[OpMapUser] = 2 * time.Second
+	s.WaitMap = time.Second
+	s.Counters = map[string]int64{CtrSpillCount: 4}
+	d := NewDump(s)
+	if d.OpsNS["map"] != int64(2*time.Second) || d.WaitMapNS != int64(time.Second) || d.Counters[CtrSpillCount] != 4 {
+		t.Fatalf("dump snapshot fields wrong: %+v", d)
+	}
+	var sum *HistogramSummary
+	for i := range d.Histograms {
+		if d.Histograms[i].Name == "test.dump.ns" {
+			sum = &d.Histograms[i]
+		}
+	}
+	if sum == nil {
+		t.Fatalf("dump missing histogram summary: %+v", d.Histograms)
+	}
+	if sum.Count != 100 || sum.MaxNS != 100000 || sum.P50NS < 50000 || sum.P50NS > 54000 {
+		t.Fatalf("summary digest wrong: %+v", *sum)
+	}
+}
+
+// BenchmarkHistogramRecord measures the hot record path.
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := &Histogram{name: "bench"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i) << 3)
+	}
+}

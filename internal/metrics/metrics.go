@@ -29,17 +29,28 @@ import (
 type Op int
 
 const (
-	OpMapUser     Op = iota // user map() execution
-	OpEmit                  // serializing records and appending to the spill buffer
-	OpSort                  // sorting a spill by (partition, key)
-	OpCombineUser           // user combine() execution
-	OpSpillIO               // writing spill runs to local disk
-	OpMerge                 // merge-sorting spill runs into the map output file
-	OpShuffle               // fetching and merge-sorting map outputs on the reduce side
-	OpReduceUser            // user reduce() execution
-	OpOutputIO              // writing final output to the DFS
-	OpProfile               // frequency-buffering profiling + hash table overhead
-	NumOps                  // sentinel: number of operations
+	// OpMapUser is user map() execution.
+	OpMapUser Op = iota
+	// OpEmit is serializing records and appending to the spill buffer.
+	OpEmit
+	// OpSort is sorting a spill by (partition, key).
+	OpSort
+	// OpCombineUser is user combine() execution.
+	OpCombineUser
+	// OpSpillIO is writing spill runs to local disk.
+	OpSpillIO
+	// OpMerge is merge-sorting spill runs into the map output file.
+	OpMerge
+	// OpShuffle is fetching and merge-sorting map outputs on the reduce side.
+	OpShuffle
+	// OpReduceUser is user reduce() execution.
+	OpReduceUser
+	// OpOutputIO is writing final output to the DFS.
+	OpOutputIO
+	// OpProfile is frequency-buffering profiling + hash table overhead.
+	OpProfile
+	// NumOps is the sentinel count of operations.
+	NumOps
 )
 
 var opNames = [NumOps]string{
@@ -77,9 +88,13 @@ func (op Op) User() bool {
 type Phase int
 
 const (
+	// PhaseMap covers everything inside map tasks, through the final merge.
 	PhaseMap Phase = iota
+	// PhaseShuffle covers moving map outputs to the reduce side.
 	PhaseShuffle
+	// PhaseReduce covers user reduce() and output I/O.
 	PhaseReduce
+	// NumPhases is the sentinel count of phases.
 	NumPhases
 )
 
@@ -146,6 +161,15 @@ const (
 	CtrShuffleStagingPeak    = "shuffle.staging.peak.bytes" // high-water mark of in-memory staging occupancy
 	CtrShuffleStagedHits     = "shuffle.staged.hits"        // reduce-attempt fetches served from staging
 	CtrShuffleFetchRetries   = "shuffle.fetch.retries"      // injected shuffle-fetch faults absorbed by per-source retry
+
+	// Shuffle wait-time counters (nanoseconds). These are the totals behind
+	// the latency histograms: blocked time on the simulated fabric, copier
+	// waits for staging-buffer space, and backoff sleeps between fetch
+	// retries. The critical-path analyzer cross-checks its blame report
+	// against them.
+	CtrShuffleFabricWaitNS  = "shuffle.fabric.wait.ns"  // time blocked in simulated fabric transfers on the shuffle path
+	CtrShuffleStagingWaitNS = "shuffle.staging.wait.ns" // time copiers waited for staging-buffer space
+	CtrShuffleRetryWaitNS   = "shuffle.retry.wait.ns"   // backoff sleep between shuffle-fetch retries
 )
 
 // TaskMetrics accumulates instrumentation for a single task attempt. It is

@@ -1,0 +1,22 @@
+package mr
+
+import "mrtext/internal/metrics"
+
+// Latency histograms for the shuffle and reduce wait points. The registry
+// hands out stable pointers, so the hot paths resolve each histogram once
+// at package init and Record with no lookup, no lock, and no allocation.
+//
+//   - histShuffleFetch: wall time to acquire one source segment on the
+//     reduce side (staged hand-off or direct fetch, retries included).
+//   - histStagingWait: copier waits for staging-buffer space that were
+//     eventually granted (backpressure that worked).
+//   - histStall: copier waits that expired and overflowed the segment to
+//     the staging node's disk (backpressure that gave up).
+//   - histQueueWait: reduce attempts' time between enqueue and worker
+//     pickup.
+var (
+	histShuffleFetch = metrics.GetHistogram(metrics.HistShuffleFetchNS)
+	histStagingWait  = metrics.GetHistogram(metrics.HistShuffleStagingWaitNS)
+	histStall        = metrics.GetHistogram(metrics.HistShuffleStallNS)
+	histQueueWait    = metrics.GetHistogram(metrics.HistReduceQueueWaitNS)
+)

@@ -19,13 +19,17 @@ import (
 // chargedStream wraps a Stream whose records flow from a remote map node:
 // it counts shuffle volume and charges the fabric in MTU-sized batches
 // (per-record charging would pay the per-transfer latency millions of
-// times; a real shuffle server streams frames).
+// times; a real shuffle server streams frames). Each batch transfer is
+// recorded as a wait-fabric span at sp's coordinates — the reduce attempt
+// consuming the stream — so blocked fabric time is separable from merge
+// and shuffle I/O in the trace.
 type chargedStream struct {
 	inner   kvio.Stream
 	c       *cluster.Cluster
 	src     int
 	dst     int
 	tm      *metrics.TaskMetrics
+	sp      spanner
 	pending int64
 }
 
@@ -57,7 +61,12 @@ func (s *chargedStream) flush() error {
 	if n == 0 {
 		return nil
 	}
-	return s.c.Net.Transfer(s.src, s.dst, n)
+	t0 := time.Now()
+	err := s.c.Net.Transfer(s.src, s.dst, n)
+	d := time.Since(t0)
+	s.tm.Inc(metrics.CtrShuffleFabricWaitNS, int64(d))
+	s.sp.tr.Complete(trace.KindWaitFabric, trace.LaneReduce, s.sp.node, s.sp.task, s.sp.slot, t0, d)
+	return err
 }
 
 func (s *chargedStream) Close() error {
@@ -99,7 +108,7 @@ const maxFetchRetries = 4
 // fetchSerial opens this partition's segment of every map output in map-
 // task order — the pre-pipelining shuffle. On error it closes whatever it
 // opened and returns the joined errors.
-func fetchSerial(c *cluster.Cluster, part, node int, plan *chaos.Plan, mapOuts []mapOutput, tm *metrics.TaskMetrics) ([]kvio.Stream, error) {
+func fetchSerial(c *cluster.Cluster, part, node int, plan *chaos.Plan, mapOuts []mapOutput, tm *metrics.TaskMetrics, sp spanner) ([]kvio.Stream, error) {
 	streams := make([]kvio.Stream, 0, len(mapOuts))
 	closeAll := func(err error) error {
 		errs := []error{err}
@@ -109,6 +118,7 @@ func fetchSerial(c *cluster.Cluster, part, node int, plan *chaos.Plan, mapOuts [
 		return errors.Join(errs...)
 	}
 	for _, mo := range mapOuts {
+		t0 := time.Now()
 		if err := plan.Check(chaos.SiteShuffleFetch); err != nil {
 			return nil, closeAll(err)
 		}
@@ -116,7 +126,8 @@ func fetchSerial(c *cluster.Cluster, part, node int, plan *chaos.Plan, mapOuts [
 		if err != nil {
 			return nil, closeAll(err)
 		}
-		streams = append(streams, &chargedStream{inner: s, c: c, src: mo.node, dst: node, tm: tm})
+		histShuffleFetch.Record(int64(time.Since(t0)))
+		streams = append(streams, &chargedStream{inner: s, c: c, src: mo.node, dst: node, tm: tm, sp: sp})
 	}
 	return streams, nil
 }
@@ -126,7 +137,7 @@ func fetchSerial(c *cluster.Cluster, part, node int, plan *chaos.Plan, mapOuts [
 // from the staging service or by direct fetch. The resulting slice is
 // indexed by map-task position, preserving the merge's stream order — and
 // with it byte-identical output — regardless of completion order.
-func fetchConcurrent(c *cluster.Cluster, job *Job, sh *shuffleEnv, part, node int, plan *chaos.Plan, mapOuts []mapOutput, tm *metrics.TaskMetrics) ([]kvio.Stream, error) {
+func fetchConcurrent(c *cluster.Cluster, job *Job, sh *shuffleEnv, part, node int, plan *chaos.Plan, mapOuts []mapOutput, tm *metrics.TaskMetrics, sp spanner) ([]kvio.Stream, error) {
 	streams := make([]kvio.Stream, len(mapOuts))
 	workers := job.ShuffleCopiers
 	if workers > len(mapOuts) {
@@ -146,7 +157,7 @@ func fetchConcurrent(c *cluster.Cluster, job *Job, sh *shuffleEnv, part, node in
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				st, err := fetchOne(c, sh, part, node, plan, i, mapOuts[i], tm)
+				st, err := fetchOne(c, sh, part, node, plan, i, mapOuts[i], tm, sp)
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
@@ -181,7 +192,8 @@ func fetchConcurrent(c *cluster.Cluster, job *Job, sh *shuffleEnv, part, node in
 // jittered backoff — the attempt survives; only real node death reaches
 // the caller. A source node found dead triggers in-attempt lost-map-output
 // recovery and a refetch from the refreshed snapshot.
-func fetchOne(c *cluster.Cluster, sh *shuffleEnv, part, node int, plan *chaos.Plan, i int, mo mapOutput, tm *metrics.TaskMetrics) (kvio.Stream, error) {
+func fetchOne(c *cluster.Cluster, sh *shuffleEnv, part, node int, plan *chaos.Plan, i int, mo mapOutput, tm *metrics.TaskMetrics, sp spanner) (kvio.Stream, error) {
+	acquireStart := time.Now()
 	for try := 0; ; try++ {
 		err := plan.Check(chaos.SiteShuffleFetch)
 		if err == nil {
@@ -191,9 +203,14 @@ func fetchOne(c *cluster.Cluster, sh *shuffleEnv, part, node int, plan *chaos.Pl
 			return nil, err
 		}
 		sh.svc.noteRetry()
+		t0 := time.Now()
 		time.Sleep(backoffFor(sh.backoff, i, try+1))
+		slept := time.Since(t0)
+		tm.Inc(metrics.CtrShuffleRetryWaitNS, int64(slept))
+		sp.tr.Complete(trace.KindWaitRetry, trace.LaneReduce, sp.node, sp.task, sp.slot, t0, slept)
 	}
-	if st, _, ok := sh.svc.take(part, i, node); ok {
+	if st, _, ok := sh.svc.take(part, i, node, sp); ok {
+		histShuffleFetch.Record(int64(time.Since(acquireStart)))
 		return &countedStream{inner: st, tm: tm}, nil
 	}
 	// Not staged (or the staging node died): direct fetch from the source
@@ -201,7 +218,8 @@ func fetchOne(c *cluster.Cluster, sh *shuffleEnv, part, node int, plan *chaos.Pl
 	for try := 0; ; try++ {
 		s, err := kvio.OpenRunPart(c.Disks[mo.node], mo.index, part)
 		if err == nil {
-			return &chargedStream{inner: s, c: c, src: mo.node, dst: node, tm: tm}, nil
+			histShuffleFetch.Record(int64(time.Since(acquireStart)))
+			return &chargedStream{inner: s, c: c, src: mo.node, dst: node, tm: tm, sp: sp}, nil
 		}
 		if !errors.Is(err, chaos.ErrNodeDead) || sh.resnapshot == nil || try >= maxFetchRetries {
 			return nil, err
@@ -303,9 +321,9 @@ func runReduceTask(c *cluster.Cluster, job *Job, part, node, slot, attempt int, 
 	fetchSpan := sp.start(trace.KindShuffleFetch, trace.LaneReduce)
 	var streams []kvio.Stream
 	if sh != nil && sh.svc != nil {
-		streams, err = fetchConcurrent(c, job, sh, part, node, plan, mapOuts, tm)
+		streams, err = fetchConcurrent(c, job, sh, part, node, plan, mapOuts, tm, sp)
 	} else {
-		streams, err = fetchSerial(c, part, node, plan, mapOuts, tm)
+		streams, err = fetchSerial(c, part, node, plan, mapOuts, tm, sp)
 	}
 	if err != nil {
 		fetchSpan.End()

@@ -156,6 +156,8 @@ func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 						return
 					}
 					queueWait := time.Since(pa.enqueued)
+					job.Trace.Complete(trace.KindWaitQueue, trace.LaneReduce, node, pa.task, slot, pa.enqueued, queueWait)
+					histQueueWait.Record(int64(queueWait))
 					plan := c.Chaos.Plan(node, pa.task, pa.attempt, chaos.ReduceSites())
 					snap := ft.snapshotMapOuts(mapOuts)
 					outName, won, created, rep, err := runReduceTask(c, job, pa.task, node, slot, pa.attempt, plan, sh, snap)

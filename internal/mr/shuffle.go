@@ -49,20 +49,30 @@ func newStagingBuffer(budget int64) *stagingBuffer {
 }
 
 // reserve claims n bytes of staging budget, waiting up to maxWait for
-// space (maxWait < 0 waits indefinitely, 0 never waits). It returns false
-// when n exceeds the whole budget, the buffer is closed, or the wait
-// expires first.
-func (b *stagingBuffer) reserve(n int64, maxWait time.Duration) bool {
+// space (maxWait < 0 waits indefinitely, 0 never waits). ok is false when
+// n exceeds the whole budget, the buffer is closed, or the wait expires
+// first; waited is the time spent blocked for space either way, which the
+// caller attributes to backpressure (granted) or stall (expired).
+func (b *stagingBuffer) reserve(n int64, maxWait time.Duration) (ok bool, waited time.Duration) {
 	if n > b.budget {
-		return false
+		return false, 0
 	}
 	expired := false
 	var timer *time.Timer
+	var waitStart time.Time
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	defer func() {
+		if !waitStart.IsZero() {
+			waited = time.Since(waitStart)
+		}
+	}()
 	for !b.closed && b.used+n > b.budget {
 		if maxWait == 0 {
-			return false
+			return false, 0
+		}
+		if waitStart.IsZero() {
+			waitStart = time.Now()
 		}
 		if maxWait > 0 && timer == nil {
 			timer = time.AfterFunc(maxWait, func() {
@@ -74,18 +84,18 @@ func (b *stagingBuffer) reserve(n int64, maxWait time.Duration) bool {
 			defer timer.Stop()
 		}
 		if expired {
-			return false
+			return false, 0
 		}
 		b.cond.Wait()
 	}
 	if b.closed {
-		return false
+		return false, 0
 	}
 	b.used += n
 	if b.used > b.peak {
 		b.peak = b.used
 	}
-	return true
+	return true, 0
 }
 
 // release returns n reserved bytes to the budget.
@@ -238,22 +248,40 @@ func (s *shuffleService) stageSegment(part, ci int, req stageReq) {
 		return
 	}
 	home := s.home(part)
-	span := s.tr.StartAttempt(trace.KindShuffleCopy, trace.LaneReduce, home, req.src, s.c.ReduceSlots()+ci, part)
+	copierSlot := s.c.ReduceSlots() + ci
+	span := s.tr.StartAttempt(trace.KindShuffleCopy, trace.LaneReduce, home, req.src, copierSlot, part)
 	raw, err := kvio.ReadSegment(s.c.Disks[req.out.node], req.out.index, part)
 	if err != nil {
 		span.End()
 		return
 	}
 	if len(raw) > 0 && req.out.node != home {
-		if err := s.c.Net.Transfer(req.out.node, home, int64(len(raw))); err != nil {
+		t0 := time.Now()
+		err := s.c.Net.Transfer(req.out.node, home, int64(len(raw)))
+		d := time.Since(t0)
+		s.tm.Inc(metrics.CtrShuffleFabricWaitNS, int64(d))
+		s.tr.Complete(trace.KindWaitFabric, trace.LaneReduce, home, req.src, copierSlot, t0, d)
+		if err != nil {
 			span.End()
 			return
 		}
 	}
 	st := &stagedSeg{len: int64(len(raw)), compressed: req.out.index.Compressed}
-	if s.buf.reserve(st.len, stagingReserveWait) {
+	reserveStart := time.Now()
+	ok, waited := s.buf.reserve(st.len, stagingReserveWait)
+	if waited > 0 {
+		s.tm.Inc(metrics.CtrShuffleStagingWaitNS, int64(waited))
+		s.tr.Complete(trace.KindWaitStaging, trace.LaneReduce, home, req.src, copierSlot, reserveStart, waited)
+	}
+	if ok {
+		if waited > 0 {
+			histStagingWait.Record(int64(waited))
+		}
 		st.data = raw
 	} else {
+		if waited > 0 {
+			histStall.Record(int64(waited))
+		}
 		name := stagedSegName(s.prefix, part, req.src)
 		if err := s.writeStaged(home, name, raw); err != nil {
 			span.End()
@@ -317,8 +345,11 @@ func (s *shuffleService) discardStaged(home int, st *stagedSeg) {
 // the attempt on the staging node). The staged copy is not consumed —
 // duplicate attempts of one partition may each take the same segment.
 // ok=false means the segment is not staged or its staging node died; the
-// caller direct-fetches from the source.
-func (s *shuffleService) take(part, src, node int) (stream kvio.Stream, rawLen int64, ok bool) {
+// caller direct-fetches from the source. The fabric hop is recorded as a
+// wait-fabric span at sp's coordinates — the reduce attempt doing the
+// take — so the critical-path analyzer can separate fabric time from
+// shuffle I/O inside the attempt's fetch.
+func (s *shuffleService) take(part, src, node int, sp spanner) (stream kvio.Stream, rawLen int64, ok bool) {
 	if s == nil {
 		return nil, 0, false
 	}
@@ -332,8 +363,16 @@ func (s *shuffleService) take(part, src, node int) (stream kvio.Stream, rawLen i
 		return nil, 0, false
 	}
 	home := s.home(part)
+	transfer := func() error {
+		t0 := time.Now()
+		err := s.c.Net.Transfer(home, node, st.len)
+		d := time.Since(t0)
+		s.tm.Inc(metrics.CtrShuffleFabricWaitNS, int64(d))
+		sp.tr.Complete(trace.KindWaitFabric, trace.LaneReduce, sp.node, sp.task, sp.slot, t0, d)
+		return err
+	}
 	if st.data != nil {
-		if err := s.c.Net.Transfer(home, node, st.len); err != nil {
+		if err := transfer(); err != nil {
 			return nil, 0, false
 		}
 		s.tm.Inc(metrics.CtrShuffleStagedHits, 1)
@@ -343,7 +382,7 @@ func (s *shuffleService) take(part, src, node int) (stream kvio.Stream, rawLen i
 	if err != nil {
 		return nil, 0, false
 	}
-	if err := s.c.Net.Transfer(home, node, st.len); err != nil {
+	if err := transfer(); err != nil {
 		if cerr := rc.Close(); cerr != nil {
 			s.tm.Inc(metrics.CtrCleanupErrors, 1)
 		}

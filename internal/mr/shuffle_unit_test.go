@@ -19,18 +19,18 @@ import (
 // until space is released, and an oversized reservation fails outright.
 func TestStagingBufferBackpressure(t *testing.T) {
 	b := newStagingBuffer(100)
-	if !b.reserve(60, 0) {
+	if ok, _ := b.reserve(60, 0); !ok {
 		t.Fatal("in-budget reservation refused")
 	}
-	if b.reserve(50, 0) {
+	if ok, _ := b.reserve(50, 0); ok {
 		t.Fatal("over-budget reservation granted without waiting")
 	}
-	if b.reserve(101, -1) {
+	if ok, _ := b.reserve(101, -1); ok {
 		t.Fatal("reservation larger than the whole budget granted")
 	}
 
 	granted := make(chan bool)
-	go func() { granted <- b.reserve(50, -1) }()
+	go func() { ok, _ := b.reserve(50, -1); granted <- ok }()
 	select {
 	case <-granted:
 		t.Fatal("blocked reservation returned before space was released")
@@ -54,11 +54,11 @@ func TestStagingBufferBackpressure(t *testing.T) {
 // not a release: the bounded wait expiring, and close failing all waiters.
 func TestStagingBufferTimeoutAndClose(t *testing.T) {
 	b := newStagingBuffer(10)
-	if !b.reserve(10, 0) {
+	if ok, _ := b.reserve(10, 0); !ok {
 		t.Fatal("in-budget reservation refused")
 	}
 	start := time.Now()
-	if b.reserve(1, 5*time.Millisecond) {
+	if ok, _ := b.reserve(1, 5*time.Millisecond); ok {
 		t.Fatal("reservation granted with the budget exhausted")
 	}
 	if waited := time.Since(start); waited < 5*time.Millisecond {
@@ -66,7 +66,7 @@ func TestStagingBufferTimeoutAndClose(t *testing.T) {
 	}
 
 	granted := make(chan bool)
-	go func() { granted <- b.reserve(1, -1) }()
+	go func() { ok, _ := b.reserve(1, -1); granted <- ok }()
 	time.Sleep(5 * time.Millisecond)
 	b.close()
 	select {
@@ -77,7 +77,7 @@ func TestStagingBufferTimeoutAndClose(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("close did not wake the blocked reservation")
 	}
-	if b.reserve(1, 0) {
+	if ok, _ := b.reserve(1, 0); ok {
 		t.Fatal("reservation granted after close")
 	}
 }
@@ -205,7 +205,7 @@ func TestShuffleServiceStagesAndTakes(t *testing.T) {
 			}
 			want := drainStream(t, direct)
 			for round := 0; round < 2; round++ { // takes must not consume
-				st, _, ok := svc.take(p, m, 0)
+				st, _, ok := svc.take(p, m, 0, spanner{})
 				if !ok {
 					t.Fatalf("part %d src %d round %d: staged segment missing", p, m, round)
 				}
@@ -224,7 +224,7 @@ func TestShuffleServiceStagesAndTakes(t *testing.T) {
 
 	// A released partition stops serving takes.
 	svc.release(1)
-	if _, _, ok := svc.take(1, 0, 0); ok {
+	if _, _, ok := svc.take(1, 0, 0, spanner{}); ok {
 		t.Fatal("released partition still serves staged segments")
 	}
 }
@@ -256,7 +256,7 @@ func TestShuffleServiceOverflowsToDisk(t *testing.T) {
 				t.Fatalf("direct open: %v", err)
 			}
 			want := drainStream(t, direct)
-			st, _, ok := svc.take(p, m, 1)
+			st, _, ok := svc.take(p, m, 1, spanner{})
 			if !ok {
 				t.Fatalf("part %d src %d: overflowed segment missing", p, m)
 			}
@@ -294,7 +294,7 @@ func TestFetchAbsorbsInjectedFault(t *testing.T) {
 	plan := c.Chaos.Plan(node, part, 0, []chaos.Site{chaos.SiteShuffleFetch})
 
 	tm := metrics.NewTaskMetrics()
-	streams, err := fetchConcurrent(c, job, sh, part, node, plan, outs, tm)
+	streams, err := fetchConcurrent(c, job, sh, part, node, plan, outs, tm, spanner{})
 	if err != nil {
 		t.Fatalf("fetch did not absorb the injected fault: %v", err)
 	}

@@ -8,6 +8,7 @@ import (
 	"mrtext/internal/apps"
 	"mrtext/internal/mr"
 	"mrtext/internal/trace"
+	"mrtext/internal/trace/critpath"
 )
 
 // TestTraceCrossChecksMetrics runs a traced wordcount with a small spill
@@ -119,6 +120,49 @@ func TestTraceCrossChecksMetrics(t *testing.T) {
 		if rep.QueueWait < 0 {
 			t.Errorf("reduce %d: negative QueueWait %v", rep.Index, rep.QueueWait)
 		}
+	}
+
+	// Every reduce attempt's queue wait is also a wait-queue span, and
+	// the two accounts agree in total.
+	var queueSpans int
+	var queueSpanTotal, queueReportTotal float64
+	for _, ev := range events {
+		if ev.Kind == trace.KindWaitQueue {
+			queueSpans++
+			queueSpanTotal += float64(ev.Dur)
+		}
+	}
+	for _, rep := range res.Tasks {
+		if rep.Kind == "reduce" {
+			queueReportTotal += float64(rep.QueueWait)
+		}
+	}
+	if queueSpans == 0 {
+		t.Error("no wait-queue spans recorded")
+	}
+	checkClose("queue wait total (ms)", queueSpanTotal/1e6, queueReportTotal/1e6)
+
+	// Blame-report cross-check: the critical-path analyzer's phase walls
+	// and idle fractions are a third account of the same run, and must
+	// agree with the Result metrics within the same 5% tolerance.
+	report, err := critpath.Analyze(events, critpath.Options{})
+	if err != nil {
+		t.Fatalf("critpath.Analyze: %v", err)
+	}
+	checkClose("critpath job wall (ms)", float64(report.JobWall)/1e6, float64(res.Wall)/1e6)
+	checkClose("critpath map wall (ms)", float64(report.Map.Wall)/1e6, float64(res.MapWall)/1e6)
+	checkClose("critpath reduce wall (ms)", float64(report.Reduce.Wall)/1e6, float64(res.ReduceWall)/1e6)
+	checkClose("critpath map idle fraction", report.MapLaneIdleFraction(), res.MapIdleFraction())
+	checkClose("critpath support idle fraction", report.SupportLaneIdleFraction(), res.SupportIdleFraction())
+	for _, phase := range []struct {
+		name string
+		pb   critpath.PhaseBlame
+	}{{"map", report.Map}, {"reduce", report.Reduce}} {
+		var sum float64
+		for c := critpath.Cause(0); c < critpath.NumCauses; c++ {
+			sum += float64(phase.pb.Causes[c])
+		}
+		checkClose("critpath "+phase.name+" blame sum (ms)", sum/1e6, float64(phase.pb.Wall)/1e6)
 	}
 
 	// The exporter round-trips through its own validator.

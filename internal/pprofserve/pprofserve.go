@@ -1,6 +1,8 @@
 // Package pprofserve wires the standard net/http/pprof and expvar
 // handlers plus a live mrtext metrics snapshot onto one debug address,
-// shared by the mrrun and mrbench CLIs (-pprof flag).
+// shared by the mrrun and mrbench CLIs (-pprof flag). The same address
+// also serves /metrics, the Prometheus text exposition of the live
+// operation totals, wait counters, and latency histograms.
 package pprofserve
 
 import (
@@ -15,14 +17,20 @@ import (
 var publishOnce sync.Once
 
 // Serve enables live metrics aggregation, publishes it as the
-// "mrtext.metrics" expvar (visible at /debug/vars), and serves
-// DefaultServeMux — which carries /debug/pprof and /debug/vars — on addr
-// in a background goroutine. A listen or serve failure is reported to
-// onErr; Serve itself never blocks.
+// "mrtext.metrics" expvar (visible at /debug/vars) and as the /metrics
+// Prometheus text endpoint, and serves DefaultServeMux — which carries
+// /debug/pprof, /debug/vars, and /metrics — on addr in a background
+// goroutine. A listen or serve failure is reported to onErr; Serve itself
+// never blocks.
 func Serve(addr string, onErr func(error)) {
 	metrics.EnableLive()
 	publishOnce.Do(func() {
 		expvar.Publish("mrtext.metrics", expvar.Func(metrics.LiveVars))
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			//mrlint:ignore droppederr a failed exposition write means the scrape client went away; nothing to report
+			_ = metrics.WritePrometheus(w)
+		})
 	})
 	//mrlint:ignore goroleak debug server lives for the whole process; it has no shutdown path by design
 	go func() {

@@ -28,6 +28,10 @@ var ganttGlyphs = [numKinds]byte{
 	KindReduceTask:   'r',
 	KindWaitMap:      '.',
 	KindWaitSupport:  '.',
+	KindWaitStaging:  'b',
+	KindWaitFabric:   'w',
+	KindWaitRetry:    'y',
+	KindWaitQueue:    'q',
 }
 
 // Gantt renders events as a fixed-width terminal timeline. width is the
@@ -36,12 +40,36 @@ var ganttGlyphs = [numKinds]byte{
 // writer's.
 func Gantt(w io.Writer, events []Event, width int) error {
 	var b strings.Builder
-	ganttTo(&b, events, width)
+	ganttTo(&b, events, nil, width)
 	_, err := io.WriteString(w, b.String())
 	return err
 }
 
-func ganttTo(w *strings.Builder, events []Event, width int) {
+// GanttMarked renders the same timeline with the marked spans — the
+// critical path the analyzer extracted — repainted as '#', so the chain
+// of spans the job's wall time actually waited on reads straight off the
+// chart. Marked events are matched by identity (kind, lane, coordinates,
+// start, duration); marks that match no event are ignored.
+func GanttMarked(w io.Writer, events, marked []Event, width int) error {
+	var b strings.Builder
+	ganttTo(&b, events, marked, width)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// spanKey identifies one span for critical-path marking.
+type spanKey struct {
+	ts, dur    int64
+	kind       Kind
+	lane       Lane
+	node, slot int32
+}
+
+func keyOf(e Event) spanKey {
+	return spanKey{ts: e.TS, dur: e.Dur, kind: e.Kind, lane: e.Lane, node: e.Node, slot: e.Slot}
+}
+
+func ganttTo(w *strings.Builder, events, marked []Event, width int) {
 	if width <= 0 {
 		width = 100
 	}
@@ -76,6 +104,10 @@ func ganttTo(w *strings.Builder, events []Event, width int) {
 	if span <= 0 {
 		span = 1
 	}
+	marks := make(map[spanKey]bool, len(marked))
+	for _, e := range marked {
+		marks[keyOf(e)] = true
+	}
 
 	keys := make([]trackKey, 0, len(tracks))
 	for k := range tracks {
@@ -97,8 +129,15 @@ func ganttTo(w *strings.Builder, events []Event, width int) {
 		total.Round(time.Microsecond), len(tracks), (total / time.Duration(width)).Round(time.Microsecond))
 	for _, k := range keys {
 		evs := tracks[k]
-		// Longest spans first so shorter (nested) spans repaint over them.
-		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Dur > evs[j].Dur })
+		// Longest spans first so shorter (nested) spans repaint over them;
+		// marked (critical-path) spans last so the '#' overlay survives.
+		sort.SliceStable(evs, func(i, j int) bool {
+			mi, mj := marks[keyOf(evs[i])], marks[keyOf(evs[j])]
+			if mi != mj {
+				return mj
+			}
+			return evs[i].Dur > evs[j].Dur
+		})
 		row := make([]byte, width)
 		for i := range row {
 			row[i] = ' '
@@ -116,6 +155,9 @@ func ganttTo(w *strings.Builder, events []Event, width int) {
 			if g == 0 {
 				g = '?'
 			}
+			if marks[keyOf(e)] {
+				g = '#'
+			}
 			for i := lo; i < hi && i < width; i++ {
 				row[i] = g
 			}
@@ -126,5 +168,9 @@ func ganttTo(w *strings.Builder, events []Event, width int) {
 		}
 		fmt.Fprintf(w, "%-16s |%s|\n", label, row)
 	}
-	fmt.Fprintln(w, "legend: = job  m map-task  S spill  o sort  c combine  G merge  f shuffle-fetch  C shuffle-copy  r reduce-task  . wait")
+	legend := "legend: = job  m map-task  S spill  o sort  c combine  G merge  f shuffle-fetch  C shuffle-copy  r reduce-task  . wait  b staging-wait  w fabric-wait  y retry-wait  q queue-wait"
+	if len(marks) > 0 {
+		legend += "  # critical path"
+	}
+	fmt.Fprintln(w, legend)
 }

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file parses a trace_event JSON document written by WriteJSON back
+// into Events, so analysis (the critpath package, mrtracecheck -report)
+// runs on recorded artifacts as well as on live tracers. The mapping is
+// the exporter's inverse: span names resolve to kinds and categories to
+// lanes by name — not ordinal — so a trace written before a kind was
+// added (or after one is) still parses; entries with unknown names or
+// phases are skipped rather than rejected.
+
+// kindByName resolves an exported span name to its Kind.
+func kindByName(name string) (Kind, bool) {
+	for k := Kind(0); k < numKinds; k++ {
+		if kindNames[k] == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// laneByName resolves an exported category to its Lane.
+func laneByName(name string) (Lane, bool) {
+	for l := Lane(0); l < numLanes; l++ {
+		if laneNames[l] == name {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+// ParseJSON decodes a trace_event document produced by WriteJSON into
+// events in timestamp order. Metadata rows and entries carrying unknown
+// span names, lanes, or phases are skipped. Timestamps and durations
+// convert from exported microseconds back to nanoseconds.
+func ParseJSON(data []byte) ([]Event, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Cat  string  `json:"cat"`
+			Args struct {
+				Task    int64 `json:"task"`
+				Records int64 `json:"records"`
+				Bytes   int64 `json:"bytes"`
+				Attempt int64 `json:"attempt"`
+				Arg     int64 `json:"arg"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("trace: parsing trace_event document: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return nil, fmt.Errorf("trace: missing traceEvents array")
+	}
+	var events []Event
+	for _, je := range doc.TraceEvents {
+		if je.Ph != "X" && je.Ph != "i" {
+			continue
+		}
+		kind, ok := kindByName(je.Name)
+		if !ok {
+			continue
+		}
+		lane, ok := laneByName(je.Cat)
+		if !ok {
+			continue
+		}
+		e := Event{
+			TS:   int64(math.Round(je.TS * 1e3)),
+			Kind: kind,
+			Lane: lane,
+			Node: int32(je.Pid - 1),
+			Task: int32(je.Args.Task),
+			Slot: int32((je.Tid - 1) % maxSlots),
+		}
+		if je.Ph == "i" {
+			e.Arg = je.Args.Arg
+		} else {
+			e.Dur = int64(math.Round(je.Dur * 1e3))
+			e.Records = je.Args.Records
+			e.Bytes = je.Args.Bytes
+			e.Arg = je.Args.Attempt
+		}
+		events = append(events, e)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].TS != events[j].TS {
+			return events[i].TS < events[j].TS
+		}
+		return events[i].Dur > events[j].Dur
+	})
+	return events, nil
+}

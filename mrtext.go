@@ -33,6 +33,7 @@ import (
 	"mrtext/internal/mr"
 	"mrtext/internal/textgen"
 	"mrtext/internal/trace"
+	"mrtext/internal/trace/critpath"
 )
 
 // Core job-authoring types, re-exported from the runtime.
@@ -84,6 +85,9 @@ type (
 	// Tracer records a job's span timeline for Perfetto export; assign one
 	// to Job.Trace (see internal/trace for the event model).
 	Tracer = trace.Tracer
+	// TraceReport is a critical-path blame report derived from a recorded
+	// trace (see internal/trace/critpath for the analysis model).
+	TraceReport = critpath.Report
 )
 
 // NewCluster builds a simulated cluster.
@@ -117,6 +121,23 @@ func WriteTrace(w io.Writer, t *Tracer) error { return trace.WriteJSON(w, t.Even
 // WriteGantt renders the tracer's recorded events as a terminal Gantt
 // chart of the given column width.
 func WriteGantt(w io.Writer, t *Tracer, width int) error { return trace.Gantt(w, t.Events(), width) }
+
+// AnalyzeTrace reconstructs the critical path from the tracer's recorded
+// events and returns the blame report: per-phase wall time attributed to
+// named causes, plus per-node utilization timelines.
+func AnalyzeTrace(t *Tracer) (*TraceReport, error) {
+	return critpath.Analyze(t.Events(), critpath.Options{})
+}
+
+// WriteGanttMarked renders the tracer's events as a terminal Gantt chart
+// with the report's critical-path spans highlighted.
+func WriteGanttMarked(w io.Writer, t *Tracer, r *TraceReport, width int) error {
+	return trace.GanttMarked(w, t.Events(), r.PathEvents(), width)
+}
+
+// WriteMetricsDump writes the snapshot plus the process-wide latency
+// histogram summaries as indented JSON (the mrrun -metrics-json output).
+func WriteMetricsDump(w io.Writer, s Snapshot) error { return metrics.WriteDump(w, s) }
 
 // ReadOutput reads one reduce partition's output file of a completed job.
 func ReadOutput(c *Cluster, res *Result, part int) ([]byte, error) {
