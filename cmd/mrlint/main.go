@@ -49,6 +49,7 @@ import (
 	"mrtext/internal/analysis/closecheck"
 	"mrtext/internal/analysis/doccheck"
 	"mrtext/internal/analysis/droppederr"
+	"mrtext/internal/analysis/globalstate"
 	"mrtext/internal/analysis/goroleak"
 	"mrtext/internal/analysis/load"
 	"mrtext/internal/analysis/lockcheck"
@@ -65,6 +66,7 @@ var analyzers = []*analysis.Analyzer{
 	spancheck.Analyzer,
 	attemptpath.Analyzer,
 	doccheck.Analyzer,
+	globalstate.Analyzer,
 	alloccheck.Analyzer,
 	atomiccheck.Analyzer,
 }
@@ -80,6 +82,15 @@ var docCheckedPkgs = map[string]bool{
 	"mrtext/internal/spillbuf":   true,
 	"mrtext/internal/metrics":    true,
 	"mrtext/internal/pprofserve": true,
+	"mrtext/internal/mrserve":    true,
+}
+
+// globalStatePkgs are the packages globalstate audits for package-level
+// mutable state: the runtime, whose concurrency contract (many jobs, one
+// cluster, no state bleed) a shared package slot silently violates. New
+// globals there must move onto the Job or carry a reasoned suppression.
+var globalStatePkgs = map[string]bool{
+	"mrtext/internal/mr": true,
 }
 
 // finding is one reportable diagnostic with its position resolved.
@@ -198,6 +209,9 @@ func lint(patterns []string) ([]finding, bool) {
 		var diags []analysis.Diagnostic
 		for _, a := range analyzers {
 			if a == doccheck.Analyzer && !docCheckedPkgs[pkg.PkgPath] {
+				continue
+			}
+			if a == globalstate.Analyzer && !globalStatePkgs[pkg.PkgPath] {
 				continue
 			}
 			pass := &analysis.Pass{

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"mrtext"
+	"mrtext/internal/mrserve"
 	"mrtext/internal/pprofserve"
 )
 
@@ -80,66 +81,37 @@ func main() {
 		die(err)
 	}
 
-	target := *megabytes << 20
-	var job *mrtext.Job
-	switch app {
-	case "wordcount", "invertedindex", "wordpostag", "syntext":
-		if err := mrtext.GenerateCorpus(c, "corpus.txt", mrtext.DefaultCorpus(), target); err != nil {
-			die(err)
-		}
-		switch app {
-		case "wordcount":
-			job = mrtext.WordCount("corpus.txt")
-		case "invertedindex":
-			job = mrtext.InvertedIndex("corpus.txt")
-		case "wordpostag":
-			job = mrtext.WordPOSTag(*posIter, "corpus.txt")
-		case "syntext":
-			job = mrtext.SynText(mrtext.SynTextConfig{CPUFactor: *cpu, Storage: *storage}, "corpus.txt")
-		}
-	case "accesslogsum", "accesslogjoin":
-		lc := mrtext.DefaultLog()
-		if err := mrtext.GenerateUserVisits(c, "visits.log", lc, target); err != nil {
-			die(err)
-		}
-		if app == "accesslogsum" {
-			job = mrtext.AccessLogSum("visits.log")
-		} else {
-			if err := mrtext.GenerateRankings(c, "rankings.tbl", lc); err != nil {
-				die(err)
-			}
-			job = mrtext.AccessLogJoin("visits.log", "rankings.tbl")
-		}
-	case "pagerank":
-		gc := mrtext.DefaultGraph()
-		if err := mrtext.GenerateWebGraph(c, "crawl.tsv", gc); err != nil {
-			die(err)
-		}
-		job = mrtext.PageRank("crawl.tsv", gc.Pages)
-	default:
-		die(fmt.Errorf("unknown app %q", app))
+	// The CLI builds its job through the same Spec path as an mrserve
+	// submission, so flags and the HTTP API share one source of truth for
+	// validation, dataset generation, and knob application.
+	spec := mrserve.Spec{
+		App:             app,
+		InputMB:         *megabytes,
+		Reducers:        *reducers,
+		SpillBufferKB:   *bufKB,
+		FreqBuf:         *freq,
+		SpillMatcher:    *spill,
+		Speculation:     *speculate,
+		PosIterations:   *posIter,
+		SynTextCPU:      *cpu,
+		SynTextStorage:  *storage,
+		ShuffleCopiers:  *copiers,
+		SerialShuffle:   *copiers <= 0,
+		ShuffleBufferMB: *shufBuf,
+		SerialIngest:    *serialIn,
+		IngestChunkKB:   *ingChunk,
 	}
-
-	job.SpillBufferBytes = *bufKB << 10
-	job.NumReducers = *reducers
-	if *freq {
-		switch app {
-		case "accesslogsum", "accesslogjoin", "pagerank":
-			job.FreqBuf = mrtext.FreqBufLog()
-		default:
-			job.FreqBuf = mrtext.FreqBufText()
-		}
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		die(err)
 	}
-	job.SpillMatcher = *spill
-	job.Speculation = *speculate
-	if *copiers <= 0 {
-		job.SerialShuffle = true
-	} else {
-		job.ShuffleCopiers = *copiers
+	if err := mrserve.EnsureDatasets(c, mrserve.NewDatasetCache(), &spec); err != nil {
+		die(err)
 	}
-	job.ShuffleBufferBytes = *shufBuf << 20
-	job.SerialIngest = *serialIn
-	job.IngestChunkBytes = *ingChunk << 10
+	job, err := spec.BuildJob(c.Nodes())
+	if err != nil {
+		die(err)
+	}
 
 	var tr *mrtext.Tracer
 	if *traceOut != "" || *gantt || *traceRep {

@@ -1,0 +1,12 @@
+package globalstate_test
+
+import (
+	"testing"
+
+	"mrtext/internal/analysis/analysistest"
+	"mrtext/internal/analysis/globalstate"
+)
+
+func TestGlobalstate(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), globalstate.Analyzer, "a")
+}

@@ -1,0 +1,47 @@
+// Package a is the golden corpus for globalstate.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Error sentinels are write-once by convention: exempt.
+var errDone = errors.New("done")
+
+var errWrapped = fmt.Errorf("wrapped: %w", errDone)
+
+// Everything else at package level is shared mutable state.
+var counter int64 // want `package-level var counter is mutable shared state`
+
+var seq atomic.Int64 // want `package-level var seq is mutable shared state`
+
+var registry = map[string]int{} // want `package-level var registry is mutable shared state`
+
+var once sync.Once // want `package-level var once is mutable shared state`
+
+var hook = func() {} // want `package-level var hook is mutable shared state`
+
+// Grouped declarations are checked name by name.
+var (
+	errGroup = errors.New("grouped sentinel")
+	state    []int // want `package-level var state is mutable shared state`
+)
+
+// A non-sentinel error var (not initialized by a constructor) is still
+// flagged: it is assignable shared state, not a sentinel.
+var lastErr error // want `package-level var lastErr is mutable shared state`
+
+// Blank names are ignored.
+var _ = counter
+
+func use() {
+	_ = errWrapped
+	_ = errGroup
+	once.Do(hook)
+	seq.Add(counter)
+	registry["k"] = len(state)
+	lastErr = errDone
+}

@@ -178,7 +178,11 @@ type Injector struct {
 
 	dead    []atomic.Bool
 	nodeOps []atomic.Int64
-	enabled atomic.Bool
+	// enabled counts concurrent Arm calls: an injector shared by several
+	// jobs running on one long-lived cluster stays armed until the LAST
+	// job disarms, so one job finishing cannot switch faults off under a
+	// concurrent job that armed the same injector.
+	enabled atomic.Int64
 
 	faults atomic.Int64
 	kills  atomic.Int64
@@ -232,22 +236,29 @@ func New(cfg Config, n int) (*Injector, error) {
 	return in, nil
 }
 
-// Arm activates injection. Nil-safe.
+// Arm activates injection. Arms are counted: pair every Arm with one
+// Disarm. Nil-safe.
 func (in *Injector) Arm() {
 	if in != nil {
-		in.enabled.Store(true)
+		in.enabled.Add(1)
 	}
 }
 
-// Disarm stops injection (node deaths persist). Nil-safe.
+// Disarm undoes one Arm; injection stops when every armer has disarmed
+// (node deaths persist). Nil-safe.
 func (in *Injector) Disarm() {
-	if in != nil {
-		in.enabled.Store(false)
+	if in != nil && in.enabled.Add(-1) < 0 {
+		in.enabled.Add(1) // unpaired Disarm: clamp at disarmed
 	}
 }
 
 // Enabled reports whether the injector is non-nil and armed.
-func (in *Injector) Enabled() bool { return in != nil && in.enabled.Load() }
+func (in *Injector) Enabled() bool { return in != nil && in.enabled.Load() > 0 }
+
+// KillsNodes reports whether this injector is configured to kill a node.
+// The mr runtime uses it to reject node-killing per-job injectors: node
+// death is a cluster-wide condition, not a per-job one.
+func (in *Injector) KillsNodes() bool { return in != nil && in.killNode >= 0 }
 
 // Kill marks a node dead immediately: every subsequent operation touching
 // it fails with ErrNodeDead. Idempotent, nil-safe.
@@ -289,7 +300,7 @@ func (in *Injector) DeadNodes() []int {
 // dies when its operation count crosses KillAfterOps. Nil-safe; disarmed
 // injectors neither count nor fail.
 func (in *Injector) NodeOp(node int) error {
-	if in == nil || !in.enabled.Load() || node < 0 || node >= len(in.dead) {
+	if in == nil || in.enabled.Load() <= 0 || node < 0 || node >= len(in.dead) {
 		return nil
 	}
 	if in.dead[node].Load() {
@@ -386,7 +397,7 @@ type Plan struct {
 // wherever they land. Returns nil (check nothing) when the injector is
 // nil or disarmed. Nil-safe.
 func (in *Injector) Plan(node, task, attempt int, sites []Site) *Plan {
-	if in == nil || !in.enabled.Load() || len(sites) == 0 {
+	if in == nil || in.enabled.Load() <= 0 || len(sites) == 0 {
 		return nil
 	}
 	p := &Plan{in: in, node: node, task: task, attempt: attempt}

@@ -270,6 +270,44 @@ func GetHistogram(name string) *Histogram {
 	return h
 }
 
+// NewHistogram returns a fresh histogram that is NOT in the process-wide
+// registry: a private sink for one job (or one test) whose observations
+// must not interleave with other concurrent recorders of the same name.
+// Exposition and dumps never see it; fold it into the registry instance
+// of the same name with MergeIntoRegistry when (and if) its observations
+// should join the process-wide aggregate.
+func NewHistogram(name string) *Histogram {
+	return &Histogram{name: name}
+}
+
+// AddSnapshot folds a snapshot's observations into the histogram
+// bucket-wise. The snapshot's buckets must come from the same bucketing
+// scheme (they always do — the scheme is compile-time constant). Safe for
+// concurrent use with Record; the merge is not atomic as a whole, but
+// every observation lands exactly once.
+func (h *Histogram) AddSnapshot(s HistogramSnapshot) {
+	for i, c := range s.Counts {
+		if c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(s.Sum)
+	for {
+		old := h.max.Load()
+		if s.Max <= old || h.max.CompareAndSwap(old, s.Max) {
+			break
+		}
+	}
+}
+
+// MergeIntoRegistry folds a private histogram's current state into the
+// process-wide registry histogram of the same name — how a per-job sink
+// joins the service-level aggregate after the job completes.
+func MergeIntoRegistry(h *Histogram) {
+	GetHistogram(h.name).AddSnapshot(h.Snapshot())
+}
+
 // HistogramSnapshots returns a snapshot of every registered histogram,
 // sorted by name. Empty histograms are included so exposition surfaces
 // registered-but-quiet instruments.

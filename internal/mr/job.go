@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mrtext/internal/chaos"
 	"mrtext/internal/core/freqbuf"
 	"mrtext/internal/core/spillmatch"
 	"mrtext/internal/kvio"
@@ -200,6 +201,19 @@ type Job struct {
 	// too, tracing is off and every span site reduces to a nil check.
 	Trace *trace.Tracer
 
+	// Hists receives the job's latency histograms. Nil falls back to the
+	// process-wide registry instruments — right for a one-shot CLI run. A
+	// job service hands every job a private NewHists set so concurrent
+	// jobs' distributions never interleave.
+	Hists *Hists
+
+	// Chaos is a per-job fault injector overriding the cluster's for
+	// task-site faults and manufactured stragglers, so one job of many on
+	// a shared cluster can run under injection without perturbing its
+	// neighbors. Node kills stay cluster-owned (a dead disk is dead for
+	// everyone); a per-job injector configured to kill nodes is rejected.
+	Chaos *chaos.Injector
+
 	// MaxAttempts bounds execution attempts per task, Hadoop's
 	// mapred.map.max.attempts (default 4): a task whose attempts all fail
 	// fails the job with the last attempt's error.
@@ -229,9 +243,18 @@ type Job struct {
 	// filePrefix uniquifies intermediate file names so the same job spec
 	// can run repeatedly on one cluster. Set by withDefaults.
 	filePrefix string
+	// cancel is the run's cancellation flag, set by RunContext's watcher
+	// when the context ends. Task loops poll it (one atomic load per
+	// record batch) instead of ctx.Err(), which takes a mutex. Set by
+	// withDefaults so task code can load it unconditionally.
+	cancel *atomic.Bool
 }
 
-// runSeq uniquifies per-run file names.
+// runSeq uniquifies per-run file names. It is the one piece of mutable
+// package state the runtime keeps: a monotone counter with no read-back
+// semantics, safe to share across concurrent jobs by construction.
+//
+//mrlint:ignore globalstate monotone run sequence; atomic, write-only, cannot bleed state between jobs
 var runSeq atomic.Int64
 
 func (j *Job) withDefaults(totalReduceSlots int) (*Job, error) {
@@ -245,8 +268,15 @@ func (j *Job) withDefaults(totalReduceSlots int) (*Job, error) {
 	if cp.NewMapper == nil || cp.NewReducer == nil {
 		return nil, fmt.Errorf("mr: job %q needs NewMapper and NewReducer", cp.Name)
 	}
+	if cp.Chaos != nil && cp.Chaos.KillsNodes() {
+		return nil, fmt.Errorf("mr: job %q: per-job chaos injectors cannot kill nodes (node death is cluster-owned)", cp.Name)
+	}
 	seq := runSeq.Add(1)
 	cp.filePrefix = fmt.Sprintf("%s.%d", cp.Name, seq)
+	cp.cancel = new(atomic.Bool)
+	if cp.Hists == nil {
+		cp.Hists = defaultHists()
+	}
 	if cp.OutputPrefix == "" {
 		cp.OutputPrefix = fmt.Sprintf("%s-out.%d", cp.Name, seq)
 	}

@@ -96,7 +96,11 @@ func (mc *mapCollector) emit(key, value []byte) error {
 			mc.tm.Inc(metrics.CtrFreqHits, 1)
 		}
 		if !mc.published && mc.cache != nil && mc.freq.Stage() == freqbuf.StageOptimize {
-			mc.cache.Put(mc.job.Name, mc.freq.TopK())
+			// Keyed by the run-unique file prefix, not the job name: top-k
+			// sharing is a within-run optimization, and a name-keyed entry
+			// would leak one run's key profile into the next run (or into a
+			// concurrent same-named job) on a long-lived cluster.
+			mc.cache.Put(mc.job.filePrefix, mc.freq.TopK())
 			mc.published = true
 		}
 		if len(overflow) > 0 {
@@ -366,7 +370,7 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node, sl
 		}
 		if fb.ShareTopK {
 			cache = c.FreqCaches[node]
-			if keys, ok := cache.Get(job.Name); ok {
+			if keys, ok := cache.Get(job.filePrefix); ok {
 				freq.InstallTopK(keys, func(k []byte) int { return job.Partition(k, job.NumReducers) })
 			}
 		}
@@ -436,6 +440,10 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node, sl
 	mc.et.Restart()
 	var mapErr error
 	for {
+		if job.cancel.Load() {
+			mapErr = errJobCanceled
+			break
+		}
 		if plan != nil {
 			if err := plan.Check(chaos.SiteRecordRead); err != nil {
 				mapErr = err
@@ -512,6 +520,10 @@ func runMapTask(c *cluster.Cluster, job *Job, taskIdx int, split Split, node, sl
 	}
 	mergeSpan := sp.start(trace.KindMerge, trace.LaneMap)
 	for p := 0; p < job.NumReducers; p++ {
+		if job.cancel.Load() {
+			mergeSpan.End()
+			return fail(errJobCanceled)
+		}
 		if plan != nil {
 			if err := plan.Check(chaos.SiteMerge); err != nil {
 				mergeSpan.End()

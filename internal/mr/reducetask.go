@@ -108,7 +108,7 @@ const maxFetchRetries = 4
 // fetchSerial opens this partition's segment of every map output in map-
 // task order — the pre-pipelining shuffle. On error it closes whatever it
 // opened and returns the joined errors.
-func fetchSerial(c *cluster.Cluster, part, node int, plan *chaos.Plan, mapOuts []mapOutput, tm *metrics.TaskMetrics, sp spanner) ([]kvio.Stream, error) {
+func fetchSerial(c *cluster.Cluster, job *Job, part, node int, plan *chaos.Plan, mapOuts []mapOutput, tm *metrics.TaskMetrics, sp spanner) ([]kvio.Stream, error) {
 	streams := make([]kvio.Stream, 0, len(mapOuts))
 	closeAll := func(err error) error {
 		errs := []error{err}
@@ -118,6 +118,9 @@ func fetchSerial(c *cluster.Cluster, part, node int, plan *chaos.Plan, mapOuts [
 		return errors.Join(errs...)
 	}
 	for _, mo := range mapOuts {
+		if job.cancel.Load() {
+			return nil, closeAll(errJobCanceled)
+		}
 		t0 := time.Now()
 		if err := plan.Check(chaos.SiteShuffleFetch); err != nil {
 			return nil, closeAll(err)
@@ -126,7 +129,7 @@ func fetchSerial(c *cluster.Cluster, part, node int, plan *chaos.Plan, mapOuts [
 		if err != nil {
 			return nil, closeAll(err)
 		}
-		histShuffleFetch.Record(int64(time.Since(t0)))
+		job.Hists.ShuffleFetch.Record(int64(time.Since(t0)))
 		streams = append(streams, &chargedStream{inner: s, c: c, src: mo.node, dst: node, tm: tm, sp: sp})
 	}
 	return streams, nil
@@ -157,7 +160,7 @@ func fetchConcurrent(c *cluster.Cluster, job *Job, sh *shuffleEnv, part, node in
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				st, err := fetchOne(c, sh, part, node, plan, i, mapOuts[i], tm, sp)
+				st, err := fetchOne(c, job, sh, part, node, plan, i, mapOuts[i], tm, sp)
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
@@ -192,9 +195,12 @@ func fetchConcurrent(c *cluster.Cluster, job *Job, sh *shuffleEnv, part, node in
 // jittered backoff — the attempt survives; only real node death reaches
 // the caller. A source node found dead triggers in-attempt lost-map-output
 // recovery and a refetch from the refreshed snapshot.
-func fetchOne(c *cluster.Cluster, sh *shuffleEnv, part, node int, plan *chaos.Plan, i int, mo mapOutput, tm *metrics.TaskMetrics, sp spanner) (kvio.Stream, error) {
+func fetchOne(c *cluster.Cluster, job *Job, sh *shuffleEnv, part, node int, plan *chaos.Plan, i int, mo mapOutput, tm *metrics.TaskMetrics, sp spanner) (kvio.Stream, error) {
 	acquireStart := time.Now()
 	for try := 0; ; try++ {
+		if job.cancel.Load() {
+			return nil, errJobCanceled
+		}
 		err := plan.Check(chaos.SiteShuffleFetch)
 		if err == nil {
 			break
@@ -210,7 +216,7 @@ func fetchOne(c *cluster.Cluster, sh *shuffleEnv, part, node int, plan *chaos.Pl
 		sp.tr.Complete(trace.KindWaitRetry, trace.LaneReduce, sp.node, sp.task, sp.slot, t0, slept)
 	}
 	if st, _, ok := sh.svc.take(part, i, node, sp); ok {
-		histShuffleFetch.Record(int64(time.Since(acquireStart)))
+		job.Hists.ShuffleFetch.Record(int64(time.Since(acquireStart)))
 		return &countedStream{inner: st, tm: tm}, nil
 	}
 	// Not staged (or the staging node died): direct fetch from the source
@@ -218,7 +224,7 @@ func fetchOne(c *cluster.Cluster, sh *shuffleEnv, part, node int, plan *chaos.Pl
 	for try := 0; ; try++ {
 		s, err := kvio.OpenRunPart(c.Disks[mo.node], mo.index, part)
 		if err == nil {
-			histShuffleFetch.Record(int64(time.Since(acquireStart)))
+			job.Hists.ShuffleFetch.Record(int64(time.Since(acquireStart)))
 			return &chargedStream{inner: s, c: c, src: mo.node, dst: node, tm: tm, sp: sp}, nil
 		}
 		if !errors.Is(err, chaos.ErrNodeDead) || sh.resnapshot == nil || try >= maxFetchRetries {
@@ -323,7 +329,7 @@ func runReduceTask(c *cluster.Cluster, job *Job, part, node, slot, attempt int, 
 	if sh != nil && sh.svc != nil {
 		streams, err = fetchConcurrent(c, job, sh, part, node, plan, mapOuts, tm, sp)
 	} else {
-		streams, err = fetchSerial(c, part, node, plan, mapOuts, tm, sp)
+		streams, err = fetchSerial(c, job, part, node, plan, mapOuts, tm, sp)
 	}
 	if err != nil {
 		fetchSpan.End()
@@ -350,6 +356,9 @@ func runReduceTask(c *cluster.Cluster, job *Job, part, node, slot, attempt int, 
 	reducer := job.NewReducer()
 
 	for {
+		if job.cancel.Load() {
+			return fail(errors.Join(errJobCanceled, outFile.Close()))
+		}
 		t0 := time.Now()
 		key, ok, err := merger.NextGroup()
 		tm.Add(metrics.OpShuffle, time.Since(t0))

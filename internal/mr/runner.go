@@ -1,6 +1,7 @@
 package mr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -29,6 +30,19 @@ import (
 // task run to completion — the simulator has no task kill — and the first
 // committer wins; losers are discarded and their temp files swept.
 func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
+	return RunContext(context.Background(), c, spec)
+}
+
+// RunContext is Run with cancellation. When ctx ends mid-job, in-flight
+// task attempts observe the job's cancel flag at their next record
+// boundary (one atomic load per input line, reduce group, merge
+// partition, or fetch retry — never a blocking wait on ctx), fail fast,
+// and are swept by the normal attempt machinery; the run then removes
+// any committed intermediates and returns the context's error wrapped in
+// the job failure. Cancellation leaves no orphaned attempt temp files:
+// every started attempt either commits (and its output is removed by the
+// failure sweep) or is swept like any failed attempt.
+func RunContext(ctx context.Context, c *cluster.Cluster, spec *Job) (*Result, error) {
 	job, err := spec.withDefaults(c.TotalReduceSlots())
 	if err != nil {
 		return nil, err
@@ -42,11 +56,19 @@ func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 	}
 	tr := job.Trace
 
-	// Arm the chaos injector for the duration of the job only: dataset
-	// generation and everything else outside Run stays fault-free.
-	if c.Chaos != nil {
-		c.Chaos.Arm()
-		defer c.Chaos.Disarm()
+	// The job's fault source: the cluster injector unless the job carries
+	// its own (a service running many jobs injects per job, so one
+	// tenant's chaos never perturbs a neighbor). Armed for the duration
+	// of the job only — dataset generation and everything else outside
+	// RunContext stays fault-free — and arming is counted, so one job
+	// finishing cannot disarm a shared injector under a concurrent job.
+	inj := c.Chaos
+	if job.Chaos != nil {
+		inj = job.Chaos
+	}
+	if inj != nil {
+		inj.Arm()
+		defer inj.Disarm()
 	}
 
 	start := time.Now()
@@ -55,6 +77,26 @@ func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 	defer jobSpan.End()
 
 	ft := newFTRun(c, job)
+	ft.inj = inj
+
+	// The cancellation watcher: flip the job's cancel flag (which task
+	// loops poll) and fail the run (which wakes workers blocked on the
+	// scheduler condvar). The deferred close stops the watcher on normal
+	// completion.
+	if done := ctx.Done(); done != nil {
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		go func() {
+			select {
+			case <-done:
+				job.cancel.Store(true)
+				ft.mu.Lock()
+				ft.failLocked(fmt.Errorf("mr: job canceled: %w", context.Cause(ctx)))
+				ft.mu.Unlock()
+			case <-stopWatch:
+			}
+		}()
+	}
 
 	// The pipelined shuffle stages committed map outputs as they appear,
 	// overlapping shuffle I/O with the rest of the map phase. The deferred
@@ -91,7 +133,7 @@ func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 					if src == takeStolen {
 						tr.Instant(trace.KindWorkSteal, trace.LaneScheduler, node, pa.task, int64(splits[pa.task].Hosts[0]))
 					}
-					plan := c.Chaos.Plan(node, pa.task, pa.attempt, chaos.MapSites())
+					plan := ft.inj.Plan(node, pa.task, pa.attempt, chaos.MapSites())
 					out, rep, created, err := runMapTask(c, job, pa.task, splits[pa.task], node, slot, pa.attempt, plan)
 					if err != nil {
 						ft.sweepDiskFiles(node, created)
@@ -107,6 +149,8 @@ func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 	close(stopSpec)
 	specWG.Wait()
 	if err := ft.jobErr(); err != nil {
+		svc.close()
+		ft.sweepJobIntermediates(mapOuts, nil)
 		return nil, err
 	}
 	res.MapWall = time.Since(start)
@@ -157,8 +201,8 @@ func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 					}
 					queueWait := time.Since(pa.enqueued)
 					job.Trace.Complete(trace.KindWaitQueue, trace.LaneReduce, node, pa.task, slot, pa.enqueued, queueWait)
-					histQueueWait.Record(int64(queueWait))
-					plan := c.Chaos.Plan(node, pa.task, pa.attempt, chaos.ReduceSites())
+					job.Hists.QueueWait.Record(int64(queueWait))
+					plan := ft.inj.Plan(node, pa.task, pa.attempt, chaos.ReduceSites())
 					snap := ft.snapshotMapOuts(mapOuts)
 					outName, won, created, rep, err := runReduceTask(c, job, pa.task, node, slot, pa.attempt, plan, sh, snap)
 					rep.QueueWait = queueWait
@@ -184,6 +228,8 @@ func Run(c *cluster.Cluster, spec *Job) (*Result, error) {
 	close(stopSpec)
 	specWG.Wait()
 	if err := ft.jobErr(); err != nil {
+		svc.close()
+		ft.sweepJobIntermediates(mapOuts, outputs)
 		return nil, err
 	}
 	res.ReduceWall = time.Since(reduceStart)
@@ -270,8 +316,13 @@ type ftTask struct {
 // mutable state is guarded by mu; cond wakes workers when new attempts
 // become runnable or the phase ends.
 type ftRun struct {
-	c    *cluster.Cluster
-	job  *Job
+	c   *cluster.Cluster
+	job *Job
+	// inj is the job's fault source: the per-job injector when the job
+	// carries one, the cluster injector otherwise. Task-site plans come
+	// from here; node-death observation stays on c.Chaos (node death is
+	// cluster-wide regardless of which job's injector is in play).
+	inj  *chaos.Injector
 	mu   sync.Mutex
 	cond *sync.Cond
 
@@ -648,6 +699,41 @@ func (ft *ftRun) sweepDFSFiles(files []string) {
 	ft.mu.Unlock()
 }
 
+// errJobCanceled is what a task attempt fails with when it observes the
+// job's cancel flag. The watcher has already failed the job by then, so
+// attemptFailed absorbs these without scheduling retries.
+var errJobCanceled = errors.New("mr: attempt canceled")
+
+// sweepJobIntermediates removes what a failed or canceled job left
+// committed behind: canonical map outputs on node disks and committed
+// reduce outputs on the DFS. Attempt-scoped temp files are already swept
+// by the attempt machinery, and staged overflow segments by the shuffle
+// service's close, so after this sweep a dead job leaves nothing on the
+// cluster. Best-effort: dead nodes are skipped, live-node failures count
+// as cleanup errors. Called only after all workers have joined.
+func (ft *ftRun) sweepJobIntermediates(mapOuts []mapOutput, outputs []string) {
+	errs := 0
+	for _, mo := range mapOuts {
+		if mo.index.Name == "" || ft.c.NodeDead(mo.node) {
+			continue
+		}
+		if err := ft.c.Disks[mo.node].Remove(mo.index.Name); err != nil && !errors.Is(err, chaos.ErrNodeDead) {
+			errs++
+		}
+	}
+	for _, name := range outputs {
+		if name == "" {
+			continue
+		}
+		if err := ft.c.FS.Remove(name); err != nil && !errors.Is(err, chaos.ErrNodeDead) {
+			errs++
+		}
+	}
+	ft.mu.Lock()
+	ft.cleanupErrs += errs
+	ft.mu.Unlock()
+}
+
 // snapshotMapOuts copies the map-output table under the lock, so a reduce
 // attempt's fetch set is consistent even while recovery rewrites entries.
 func (ft *ftRun) snapshotMapOuts(mapOuts []mapOutput) []mapOutput {
@@ -782,7 +868,7 @@ func (ft *ftRun) rerunMapTask(t int, splits []Split, mapOuts []mapOutput, mapRep
 		}
 		ft.mu.Unlock()
 		kind = attemptRetry
-		plan := ft.c.Chaos.Plan(node, t, attemptNo, chaos.MapSites())
+		plan := ft.inj.Plan(node, t, attemptNo, chaos.MapSites())
 		out, rep, created, err := runMapTask(ft.c, ft.job, t, splits[t], node, 0, attemptNo, plan)
 		if err != nil {
 			ft.refreshDeadNodes()

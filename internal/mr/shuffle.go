@@ -152,7 +152,10 @@ type shuffleService struct {
 	// not to any single attempt — an attempt's report is discarded when it
 	// fails or loses a commit race, which would silently drop counts — so
 	// the runner merges this snapshot into the job aggregate exactly once.
-	tm      *metrics.TaskMetrics
+	tm *metrics.TaskMetrics
+	// hists is the owning job's histogram set (per-job under a service,
+	// registry-backed for one-shot runs).
+	hists   *Hists
 	mapDone atomic.Bool
 
 	mu       sync.Mutex
@@ -173,6 +176,7 @@ func newShuffleService(c *cluster.Cluster, job *Job) *shuffleService {
 		copiers:  job.ShuffleCopiers,
 		buf:      newStagingBuffer(job.ShuffleBufferBytes),
 		tm:       metrics.NewTaskMetrics(),
+		hists:    job.Hists,
 		pend:     make([][]stageReq, parts),
 		staged:   make([]map[int]*stagedSeg, parts),
 		released: make([]bool, parts),
@@ -275,12 +279,12 @@ func (s *shuffleService) stageSegment(part, ci int, req stageReq) {
 	}
 	if ok {
 		if waited > 0 {
-			histStagingWait.Record(int64(waited))
+			s.hists.StagingWait.Record(int64(waited))
 		}
 		st.data = raw
 	} else {
 		if waited > 0 {
-			histStall.Record(int64(waited))
+			s.hists.Stall.Record(int64(waited))
 		}
 		name := stagedSegName(s.prefix, part, req.src)
 		if err := s.writeStaged(home, name, raw); err != nil {

@@ -3,6 +3,7 @@ package mr
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -142,7 +143,9 @@ func unitShuffleJob(bufferBytes int64) *Job {
 		ShuffleCopiers:     2,
 		ShuffleBufferBytes: bufferBytes,
 		RetryBackoff:       time.Millisecond,
+		Hists:              NewHists(),
 		filePrefix:         "unit",
+		cancel:             new(atomic.Bool),
 	}
 }
 

@@ -1,0 +1,193 @@
+package mrserve
+
+import "sync"
+
+// drrQueue is the bounded multi-tenant job queue with deficit-round-robin
+// dequeue. Admission (the bound) is depth- and byte-based: a push that
+// would exceed either limit is refused, which the HTTP layer reports as
+// 429. Dequeue is classic DRR (Shreedhar & Varghese) over the jobs'
+// estimated input bytes: each backlogged tenant accrues quantum × weight
+// of credit per round and may start a job when its credit covers the
+// job's cost, so a tenant streaming small jobs and a tenant submitting
+// huge ones share map input bandwidth in proportion to their weights
+// rather than their submission rates.
+type drrQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	maxDepth int   // admission: max queued jobs
+	maxBytes int64 // admission: max total estimated input bytes queued
+	quantum  int64 // DRR credit per round per unit weight
+
+	tenants map[string]*drrTenant
+	order   []string // stable round-robin order (first-seen)
+	cursor  int      // next tenant to consider, rotates on exhaustion
+	depth   int
+	bytes   int64
+	closed  bool
+}
+
+// drrTenant is one tenant's backlog and scheduling state.
+type drrTenant struct {
+	weight  int64
+	deficit int64
+	jobs    []*jobState
+	grants  int64 // jobs dequeued for this tenant (the fairness counter)
+	rounds  int64 // credit rounds this tenant's backlog waited through
+}
+
+func newDRRQueue(maxDepth int, maxBytes, quantum int64) *drrQueue {
+	q := &drrQueue{
+		maxDepth: maxDepth,
+		maxBytes: maxBytes,
+		quantum:  quantum,
+		tenants:  make(map[string]*drrTenant),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *drrQueue) tenant(name string, weight int64) *drrTenant {
+	t := q.tenants[name]
+	if t == nil {
+		t = &drrTenant{weight: weight}
+		q.tenants[name] = t
+		q.order = append(q.order, name)
+	}
+	return t
+}
+
+// push enqueues a job for its tenant, or refuses it when the queue is at
+// its depth or byte bound (admitted=false: the caller answers 429). A
+// closed queue refuses everything.
+func (q *drrQueue) push(j *jobState, weight int64) (admitted bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.depth >= q.maxDepth || q.bytes+j.cost > q.maxBytes {
+		return false
+	}
+	t := q.tenant(j.Tenant, weight)
+	t.jobs = append(t.jobs, j)
+	q.depth++
+	q.bytes += j.cost
+	q.cond.Broadcast()
+	return true
+}
+
+// pop blocks until a job is schedulable under DRR or the queue closes
+// (ok=false). Jobs canceled while queued are discarded here, reported via
+// the second return so the caller can finalize them without running them.
+func (q *drrQueue) pop() (j *jobState, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return nil, false
+		}
+		if q.depth == 0 {
+			q.cond.Wait()
+			continue
+		}
+		return q.popLocked(), true
+	}
+}
+
+// popLocked runs the DRR sweep. depth > 0, so some tenant has a backlog
+// and the credit loop terminates: every round adds quantum×weight to each
+// backlogged tenant, so any head job's cost is eventually covered.
+func (q *drrQueue) popLocked() *jobState {
+	for {
+		for i := 0; i < len(q.order); i++ {
+			idx := (q.cursor + i) % len(q.order)
+			t := q.tenants[q.order[idx]]
+			if len(t.jobs) == 0 {
+				continue
+			}
+			if t.deficit < t.jobs[0].cost {
+				continue
+			}
+			j := t.jobs[0]
+			t.jobs = t.jobs[1:]
+			t.deficit -= j.cost
+			t.grants++
+			if len(t.jobs) == 0 {
+				// An emptied queue forfeits its remaining credit — the DRR
+				// rule that keeps an idle tenant from banking bandwidth.
+				t.deficit = 0
+				q.cursor = (idx + 1) % len(q.order)
+			} else {
+				q.cursor = idx // may still afford its next job this round
+			}
+			q.depth--
+			q.bytes -= j.cost
+			return j
+		}
+		// No backlogged tenant can afford its head job: run a credit round.
+		for _, name := range q.order {
+			if t := q.tenants[name]; len(t.jobs) > 0 {
+				t.deficit += q.quantum * t.weight
+				t.rounds++
+			}
+		}
+	}
+}
+
+// remove deletes a queued job (cancellation before start). It reports
+// whether the job was still queued; false means it already left the queue
+// and the caller must cancel the running job instead.
+func (q *drrQueue) remove(j *jobState) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.tenants[j.Tenant]
+	if t == nil {
+		return false
+	}
+	for i, qj := range t.jobs {
+		if qj == j {
+			t.jobs = append(t.jobs[:i], t.jobs[i+1:]...)
+			q.depth--
+			q.bytes -= j.cost
+			return true
+		}
+	}
+	return false
+}
+
+// stats returns per-tenant scheduling counters for /metrics and /tenants.
+func (q *drrQueue) stats() map[string]QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]QueueStats, len(q.tenants))
+	for name, t := range q.tenants {
+		out[name] = QueueStats{
+			Queued:       len(t.jobs),
+			Grants:       t.grants,
+			CreditRounds: t.rounds,
+			Weight:       t.weight,
+		}
+	}
+	return out
+}
+
+// depthBytes returns the queue's current occupancy.
+func (q *drrQueue) depthBytes() (int, int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth, q.bytes
+}
+
+// close wakes every blocked pop with ok=false.
+func (q *drrQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// QueueStats is one tenant's scheduler-side accounting.
+type QueueStats struct {
+	Queued       int   `json:"queued"`
+	Grants       int64 `json:"grants"`
+	CreditRounds int64 `json:"credit_rounds"`
+	Weight       int64 `json:"weight"`
+}

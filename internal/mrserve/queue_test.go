@@ -1,0 +1,182 @@
+package mrserve
+
+import (
+	"testing"
+	"time"
+)
+
+const q = int64(1 << 20) // test quantum: 1 MiB of credit per round per weight
+
+func job(tenant string, cost int64) *jobState {
+	return &jobState{ID: tenant + "-j", Tenant: tenant, cost: cost, done: make(chan struct{})}
+}
+
+func drain(t *testing.T, dq *drrQueue, n int) []string {
+	t.Helper()
+	var order []string
+	for i := 0; i < n; i++ {
+		j, ok := dq.pop()
+		if !ok {
+			t.Fatalf("pop %d: queue closed early", i)
+		}
+		order = append(order, j.Tenant)
+	}
+	return order
+}
+
+func TestAdmissionDepthBound(t *testing.T) {
+	dq := newDRRQueue(2, 100*q, q)
+	if !dq.push(job("a", q), 1) || !dq.push(job("a", q), 1) {
+		t.Fatal("pushes under the depth bound refused")
+	}
+	if dq.push(job("a", q), 1) {
+		t.Fatal("push over the depth bound admitted")
+	}
+	if depth, bytes := dq.depthBytes(); depth != 2 || bytes != 2*q {
+		t.Fatalf("occupancy (%d, %d), want (2, %d)", depth, bytes, 2*q)
+	}
+}
+
+func TestAdmissionByteBound(t *testing.T) {
+	dq := newDRRQueue(100, 3*q, q)
+	if !dq.push(job("a", 2*q), 1) {
+		t.Fatal("first push refused")
+	}
+	if dq.push(job("b", 2*q), 1) {
+		t.Fatal("push over the byte bound admitted")
+	}
+	if !dq.push(job("b", q), 1) {
+		t.Fatal("push fitting the remaining byte budget refused")
+	}
+}
+
+// TestDRRFairnessEqualWeights: two tenants, equal weights, equal costs —
+// no prefix of the dequeue order favors either tenant by more than one
+// grant, even though tenant a enqueued its whole backlog first.
+func TestDRRFairnessEqualWeights(t *testing.T) {
+	dq := newDRRQueue(100, 100*q, q)
+	for i := 0; i < 8; i++ {
+		dq.push(job("a", q), 1)
+	}
+	for i := 0; i < 8; i++ {
+		dq.push(job("b", q), 1)
+	}
+	counts := map[string]int{}
+	for _, tenant := range drain(t, dq, 16) {
+		counts[tenant]++
+		if d := counts["a"] - counts["b"]; d < -1 || d > 1 {
+			t.Fatalf("prefix imbalance %d after %v", d, counts)
+		}
+	}
+	st := dq.stats()
+	if st["a"].Grants != 8 || st["b"].Grants != 8 {
+		t.Errorf("grants %+v, want 8 and 8", st)
+	}
+	if st["a"].CreditRounds == 0 {
+		t.Error("no credit rounds recorded")
+	}
+}
+
+// TestDRRWeighted: weight 3 vs 1 shares grants 3:1.
+func TestDRRWeighted(t *testing.T) {
+	dq := newDRRQueue(100, 100*q, q)
+	for i := 0; i < 12; i++ {
+		dq.push(job("a", q), 3)
+	}
+	for i := 0; i < 12; i++ {
+		dq.push(job("b", q), 1)
+	}
+	counts := map[string]int{}
+	for _, tenant := range drain(t, dq, 8) {
+		counts[tenant]++
+	}
+	if counts["a"] != 6 || counts["b"] != 2 {
+		t.Errorf("first 8 grants split %v, want 6:2 at weight 3:1", counts)
+	}
+}
+
+// TestDRRByteCosts: fairness is over bytes, not job counts — a tenant
+// submitting 4q-cost jobs gets one grant for every four q-cost grants of
+// its neighbor.
+func TestDRRByteCosts(t *testing.T) {
+	dq := newDRRQueue(100, 1000*q, q)
+	for i := 0; i < 3; i++ {
+		dq.push(job("big", 4*q), 1)
+	}
+	for i := 0; i < 12; i++ {
+		dq.push(job("small", q), 1)
+	}
+	counts := map[string]int{}
+	for _, tenant := range drain(t, dq, 10) {
+		counts[tenant]++
+	}
+	if counts["big"] != 2 || counts["small"] != 8 {
+		t.Errorf("first 10 grants split %v, want big:2 small:8 (byte-fair)", counts)
+	}
+}
+
+// TestDRRIdleTenantForfeitsCredit: a tenant whose queue empties restarts
+// from zero deficit — it cannot bank credit while idle and then burst.
+func TestDRRIdleTenantForfeitsCredit(t *testing.T) {
+	dq := newDRRQueue(100, 1000*q, q)
+	dq.push(job("a", q), 1)
+	if got := drain(t, dq, 1); got[0] != "a" {
+		t.Fatalf("popped %v", got)
+	}
+	// a went idle; many rounds' worth of pops for b must not owe a a burst.
+	for i := 0; i < 6; i++ {
+		dq.push(job("b", q), 1)
+	}
+	drain(t, dq, 6)
+	for i := 0; i < 2; i++ {
+		dq.push(job("a", 4*q), 1)
+		dq.push(job("b", q), 1)
+	}
+	// With no banked credit, a's first 4q job needs 4 fresh rounds; b's
+	// q jobs go first.
+	order := drain(t, dq, 2)
+	if order[0] != "b" {
+		t.Errorf("idle tenant burst ahead: order %v", order)
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	dq := newDRRQueue(100, 100*q, q)
+	j1, j2 := job("a", q), job("a", q)
+	dq.push(j1, 1)
+	dq.push(j2, 1)
+	if !dq.remove(j1) {
+		t.Fatal("remove of a queued job failed")
+	}
+	if dq.remove(j1) {
+		t.Fatal("second remove of the same job succeeded")
+	}
+	if got := drain(t, dq, 1); got[0] != "a" {
+		t.Fatalf("popped %v", got)
+	}
+	if depth, bytes := dq.depthBytes(); depth != 0 || bytes != 0 {
+		t.Fatalf("occupancy (%d, %d) after drain, want (0, 0)", depth, bytes)
+	}
+}
+
+func TestQueueCloseUnblocksPop(t *testing.T) {
+	dq := newDRRQueue(100, 100*q, q)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := dq.pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	dq.close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("pop returned ok from a closed queue")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pop did not unblock on close")
+	}
+	if dq.push(job("a", q), 1) {
+		t.Fatal("closed queue admitted a push")
+	}
+}

@@ -1,0 +1,95 @@
+package mrserve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mrtext/internal/metrics"
+)
+
+// tenantStats is one tenant's service-side accounting: admission counts,
+// terminal-state counts, and the wall-time distribution of its completed
+// jobs. All fields are atomics (or an atomic-recording histogram), so the
+// hot paths never serialize tenants against each other.
+type tenantStats struct {
+	submitted atomic.Int64
+	admitted  atomic.Int64
+	rejected  atomic.Int64 // refused with 429 at admission
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	wallNS    atomic.Int64
+	// wall is the tenant's job wall-time distribution. Private (not in
+	// the process registry): each tenant owns its own instance, exposed
+	// through /metrics with a tenant label.
+	wall *metrics.Histogram
+}
+
+func newTenantStats() *tenantStats {
+	return &tenantStats{wall: metrics.NewHistogram("mrserve.job.wall.ns")}
+}
+
+// noteFinished records a terminal job for the tenant.
+func (t *tenantStats) noteFinished(status JobStatus, wall time.Duration) {
+	switch status {
+	case StatusDone:
+		t.completed.Add(1)
+	case StatusFailed:
+		t.failed.Add(1)
+	case StatusCanceled:
+		t.canceled.Add(1)
+	}
+	if wall > 0 {
+		t.wallNS.Add(int64(wall))
+		t.wall.Record(int64(wall))
+	}
+}
+
+// TenantView is one row of the GET /tenants document.
+type TenantView struct {
+	Tenant    string  `json:"tenant"`
+	Submitted int64   `json:"submitted"`
+	Admitted  int64   `json:"admitted"`
+	Rejected  int64   `json:"rejected"`
+	Completed int64   `json:"completed"`
+	Failed    int64   `json:"failed"`
+	Canceled  int64   `json:"canceled"`
+	Queued    int     `json:"queued"`
+	Grants    int64   `json:"drr_grants"`
+	Weight    int64   `json:"weight"`
+	WallMS    float64 `json:"wall_ms_total"`
+	P95WallMS float64 `json:"wall_ms_p95"`
+}
+
+// tenantSet is the concurrent tenant registry.
+type tenantSet struct {
+	mu sync.Mutex
+	m  map[string]*tenantStats
+}
+
+func newTenantSet() *tenantSet {
+	return &tenantSet{m: make(map[string]*tenantStats)}
+}
+
+func (ts *tenantSet) get(name string) *tenantStats {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t := ts.m[name]
+	if t == nil {
+		t = newTenantStats()
+		ts.m[name] = t
+	}
+	return t
+}
+
+// snapshot returns a copy of the registry for rendering.
+func (ts *tenantSet) snapshot() map[string]*tenantStats {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make(map[string]*tenantStats, len(ts.m))
+	for k, v := range ts.m {
+		out[k] = v
+	}
+	return out
+}

@@ -16,13 +16,13 @@ import (
 
 var publishOnce sync.Once
 
-// Serve enables live metrics aggregation, publishes it as the
+// Handler enables live metrics aggregation, publishes it as the
 // "mrtext.metrics" expvar (visible at /debug/vars) and as the /metrics
-// Prometheus text endpoint, and serves DefaultServeMux — which carries
-// /debug/pprof, /debug/vars, and /metrics — on addr in a background
-// goroutine. A listen or serve failure is reported to onErr; Serve itself
-// never blocks.
-func Serve(addr string, onErr func(error)) {
+// Prometheus text endpoint, and returns DefaultServeMux — which carries
+// /debug/pprof, /debug/vars, and /metrics. Servers with their own mux
+// (mrserve) mount this under /debug/ instead of running a second
+// listener.
+func Handler() http.Handler {
 	metrics.EnableLive()
 	publishOnce.Do(func() {
 		expvar.Publish("mrtext.metrics", expvar.Func(metrics.LiveVars))
@@ -32,9 +32,17 @@ func Serve(addr string, onErr func(error)) {
 			_ = metrics.WritePrometheus(w)
 		})
 	})
+	return http.DefaultServeMux
+}
+
+// Serve wires Handler's endpoints and serves them on addr in a background
+// goroutine. A listen or serve failure is reported to onErr; Serve itself
+// never blocks.
+func Serve(addr string, onErr func(error)) {
+	h := Handler()
 	//mrlint:ignore goroleak debug server lives for the whole process; it has no shutdown path by design
 	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
+		if err := http.ListenAndServe(addr, h); err != nil {
 			onErr(err)
 		}
 	}()

@@ -21,6 +21,7 @@
 package mrtext
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -60,6 +61,8 @@ type (
 	CombineFunc = mr.CombineFunc
 	// FreqBufConfig configures frequency-buffering on a Job.
 	FreqBufConfig = mr.FreqBufConfig
+	// Hists is a per-job latency-histogram sink; see Job.Hists.
+	Hists = mr.Hists
 	// SpillMatcherConfig configures the adaptive spill controller.
 	SpillMatcherConfig = spillmatch.Config
 	// Cluster is a running simulated cluster.
@@ -105,6 +108,20 @@ func FastCluster(nodes int) ClusterConfig { return cluster.Fast(nodes) }
 
 // Run executes a job on the cluster.
 func Run(c *Cluster, job *Job) (*Result, error) { return mr.Run(c, job) }
+
+// RunContext executes a job on the cluster under ctx. Canceling ctx
+// cancels the job: in-flight task attempts unwind at their next record
+// boundary, attempt temp files are swept, and committed intermediates are
+// removed before RunContext returns the cancellation error.
+func RunContext(ctx context.Context, c *Cluster, job *Job) (*Result, error) {
+	return mr.RunContext(ctx, c, job)
+}
+
+// NewHists returns a private latency-histogram sink; assign it to
+// Job.Hists so a job's shuffle/reduce latency distributions stay isolated
+// from concurrent jobs (fold them into the process-wide registry
+// afterwards with its MergeIntoRegistry).
+func NewHists() *Hists { return mr.NewHists() }
 
 // RunReference executes a job sequentially with no optimizations and no
 // parallelism: the semantic ground truth for output comparison.
