@@ -13,7 +13,10 @@
 //
 // mrbench -shufflebench runs the pipelined-shuffle harness — the same
 // throttled SynText job under the serial shuffle and under copier pools
-// of fan-out 1, 2 and 4 — and writes BENCH_shuffle.json.
+// of fan-out 1, 2 and 4 — plus a weak-scaling sweep over
+// -shufflebench-nodes simulated node counts, and writes
+// BENCH_shuffle.json. -shufflebench-assert turns the sweep into a CI
+// gate on copier-steal activity.
 //
 // mrbench -ingestbench runs the ingest fast-path harness — the serial
 // bufio line scanner with allocating tokenize/parse kernels against the
@@ -27,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"mrtext/internal/experiments"
@@ -75,6 +80,9 @@ func main() {
 		shbOut     = flag.String("shufflebench-out", "BENCH_shuffle.json", "output file for -shufflebench")
 		shbIters   = flag.Int("shufflebench-iters", 3, "iterations per shuffle configuration for -shufflebench")
 		shbMB      = flag.Int64("shufflebench-mb", 16, "SynText corpus size in MiB for -shufflebench")
+		shbNodes   = flag.String("shufflebench-nodes", "64,128,256", "comma-separated node counts for the -shufflebench weak-scaling sweep (empty = skip the sweep)")
+		shbBase    = flag.Bool("shufflebench-base", true, "run the classic 4-node copier-fan-out section of -shufflebench")
+		shbAssert  = flag.Bool("shufflebench-assert", false, "exit nonzero unless copier-steal activity at copiers-4 stays within the copiers-1 bound in every cell (CI gate)")
 		ingbench   = flag.Bool("ingestbench", false, "run the ingest fast-path harness and write -ingestbench-out")
 		ibOut      = flag.String("ingestbench-out", "BENCH_ingest.json", "output file for -ingestbench")
 		ibIters    = flag.Int("ingestbench-iters", 5, "iterations per ingest pipeline for -ingestbench")
@@ -113,7 +121,12 @@ func main() {
 		return
 	}
 	if *shufbench {
-		if err := runShuffleBench(*shbOut, *shbIters, *shbMB); err != nil {
+		scaleNodes, err := parseNodeList(*shbNodes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrbench: shufflebench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := runShuffleBench(*shbOut, *shbIters, *shbMB, scaleNodes, *shbBase, *shbAssert); err != nil {
 			fmt.Fprintf(os.Stderr, "mrbench: shufflebench: %v\n", err)
 			os.Exit(1)
 		}
@@ -171,6 +184,24 @@ func main() {
 		}
 		fmt.Printf("wrote trace to %s (load it at ui.perfetto.dev)\n", *traceOut)
 	}
+}
+
+// parseNodeList parses the -shufflebench-nodes value: a comma-separated
+// list of positive node counts, or empty to skip the sweep.
+func parseNodeList(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad node count %q in -shufflebench-nodes", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func writeTraceFile(path string, tr *trace.Tracer) error {

@@ -173,6 +173,13 @@ func (f *Fabric) Transfer(src, dst int, n int64) error {
 	return nil
 }
 
+// InFlight returns the number of remote transfers in flight across the
+// whole fabric right now. It is the live counterpart of
+// Stats.MaxInFlight: the shuffle copier governor polls it to tell a
+// fabric-hot map phase (many DFS block reads crossing the wire) from a
+// quiet one, and throttles copier fan-out accordingly.
+func (f *Fabric) InFlight() int64 { return f.inflight.Load() }
+
 // NodeStats returns one node's cumulative sent/received remote traffic.
 func (f *Fabric) NodeStats(node int) (NodeStats, error) {
 	if node < 0 || node >= len(f.nics) {

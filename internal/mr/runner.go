@@ -265,6 +265,10 @@ func RunContext(ctx context.Context, c *cluster.Cluster, spec *Job) (*Result, er
 		res.ShuffleStagedSpills = int(ctr[metrics.CtrShuffleStagedSpills])
 		res.ShuffleFetchRetries = int(ctr[metrics.CtrShuffleFetchRetries])
 		res.ShuffleStagingPeak = ctr[metrics.CtrShuffleStagingPeak]
+		res.ShuffleBatchFetches = int(ctr[metrics.CtrShuffleBatchFetches])
+		res.ShuffleBatchSegments = int(ctr[metrics.CtrShuffleBatchSegments])
+		res.ShuffleWireSavedBytes = ctr[metrics.CtrShuffleWireSavedBytes]
+		res.ShuffleGovThrottles = int(ctr[metrics.CtrShuffleGovThrottles])
 	}
 	res.LocalMapTasks, res.StolenMapTasks = sched.placement()
 	res.Agg.Counters[metrics.CtrLocalMapTasks] += int64(res.LocalMapTasks)
@@ -627,11 +631,13 @@ func (ft *ftRun) commitMap(pa pendingAttempt, node int, out mapOutput, rep TaskR
 		ft.specWins++
 	}
 	ft.done++
+	done, total := ft.done, ft.total
 	if ft.done == ft.total {
 		ft.phaseDone = true
 	}
 	ft.cond.Broadcast()
 	ft.mu.Unlock()
+	ft.shuffle.noteMapProgress(done, total)
 	ft.shuffle.offer(pa.task, out)
 }
 

@@ -14,15 +14,32 @@ import (
 )
 
 // This file is the pipelined shuffle. Each reduce partition gets a small
-// pool of copier goroutines that fetch the partition's segment of every
-// committed map output while the map phase is still running (early fetch),
-// stage the raw bytes at the partition's staging node — in a bounded
+// pool of copier goroutines that fetch the partition's segments of
+// committed map outputs while the map phase is still running (early
+// fetch), stage the bytes at the partition's staging node — in a bounded
 // memory buffer with backpressure, overflowing to the staging node's disk
 // when the budget is exhausted — and hand staged segments to reduce
 // attempts. A segment that was never staged (fetch raced a node death,
 // the service was disabled, the copier lost to the reduce phase) is
 // direct-fetched exactly like the serial shuffle, so the pipelined path
 // never changes job output.
+//
+// The fetch plane is batched, compressed, and governed (DESIGN §10):
+//
+//   - Batching: a copier visiting a source node drains all of that node's
+//     queued segments for its partition in one fabric transfer, up to
+//     Job.ShuffleBatchBytes, amortizing the per-transfer fabric latency
+//     that made fine-grained fan-out pay one round trip per segment.
+//   - Wire compression: segments of uncompressed map outputs are
+//     transcoded to kvio's prefix-compressed run format before the
+//     staging hop, and stay compressed — on the wire, in the staging
+//     budget, on the staging disk, and across the take hop — until the
+//     reduce-side merge decodes them. Every staging byte count (reserve,
+//     spill threshold, peak, counters) is the wire length, never the raw
+//     length.
+//   - Governing: copiers take a token from the contention-aware governor
+//     (governor.go) before each batch, so fan-out backs off while the map
+//     phase is fabric-hot and ramps up as maps drain.
 
 // stagingReserveWait bounds how long a copier waits for staging-buffer
 // space before overflowing the segment to the staging node's disk. The
@@ -143,11 +160,14 @@ type stagedSeg struct {
 // shuffleService runs the job-wide copier pools. All methods are nil-safe
 // so the serial-shuffle configuration can skip every call site.
 type shuffleService struct {
-	c       *cluster.Cluster
-	tr      *trace.Tracer
-	prefix  string
-	copiers int
-	buf     *stagingBuffer
+	c          *cluster.Cluster
+	tr         *trace.Tracer
+	prefix     string
+	copiers    int
+	batchBytes int64
+	rawWire    bool
+	gov        *copierGovernor
+	buf        *stagingBuffer
 	// tm is the service's own metrics. Staging work belongs to the job,
 	// not to any single attempt — an attempt's report is discarded when it
 	// fails or loses a commit race, which would silently drop counts — so
@@ -170,18 +190,23 @@ type shuffleService struct {
 func newShuffleService(c *cluster.Cluster, job *Job) *shuffleService {
 	parts := job.NumReducers
 	s := &shuffleService{
-		c:        c,
-		tr:       job.Trace,
-		prefix:   job.filePrefix,
-		copiers:  job.ShuffleCopiers,
-		buf:      newStagingBuffer(job.ShuffleBufferBytes),
-		tm:       metrics.NewTaskMetrics(),
-		hists:    job.Hists,
-		pend:     make([][]stageReq, parts),
-		staged:   make([]map[int]*stagedSeg, parts),
-		released: make([]bool, parts),
+		c:          c,
+		tr:         job.Trace,
+		prefix:     job.filePrefix,
+		copiers:    job.ShuffleCopiers,
+		batchBytes: job.ShuffleBatchBytes,
+		rawWire:    job.ShuffleRawWire,
+		buf:        newStagingBuffer(job.ShuffleBufferBytes),
+		tm:         metrics.NewTaskMetrics(),
+		hists:      job.Hists,
+		pend:       make([][]stageReq, parts),
+		staged:     make([]map[int]*stagedSeg, parts),
+		released:   make([]bool, parts),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if !job.ShuffleUngoverned {
+		s.gov = newCopierGovernor(1, job.ShuffleCopiers*parts, c.Net.InFlight)
+	}
 	for p := 0; p < parts; p++ {
 		s.staged[p] = make(map[int]*stagedSeg)
 		for ci := 0; ci < s.copiers; ci++ {
@@ -224,8 +249,10 @@ func (s *shuffleService) offer(src int, out mapOutput) {
 }
 
 // copierLoop is one copier of one partition's pool: it drains the
-// partition's staging queue until the partition is released or the
-// service closes.
+// partition's staging queue in batches until the partition is released or
+// the service closes. Each batch is gated on a governor token, acquired
+// after work is known to be pending but before any disk or fabric use, so
+// parked time is measured demand, never idle-queue time.
 func (s *shuffleService) copierLoop(part, ci int) {
 	defer s.wg.Done()
 	for {
@@ -237,78 +264,190 @@ func (s *shuffleService) copierLoop(part, ci int) {
 			s.mu.Unlock()
 			return
 		}
-		req := s.pend[part][0]
-		s.pend[part] = s.pend[part][1:]
+		srcHint := s.pend[part][0].src
 		s.mu.Unlock()
-		s.stageSegment(part, ci, req)
+
+		granted, parked := s.gov.acquire()
+		if parked > 0 {
+			s.tm.Inc(metrics.CtrShuffleGovThrottles, 1)
+			s.tm.Inc(metrics.CtrShuffleGovWaitNS, int64(parked))
+			s.tr.Complete(trace.KindWaitGovernor, trace.LaneReduce,
+				s.home(part), srcHint, s.c.ReduceSlots()+ci, time.Now().Add(-parked), parked)
+		}
+
+		// Re-check under the lock: a sibling copier may have drained the
+		// queue (or the partition may have been released) while parked.
+		s.mu.Lock()
+		if s.closed || s.released[part] || len(s.pend[part]) == 0 {
+			done := s.closed || s.released[part]
+			s.mu.Unlock()
+			if granted {
+				s.gov.release()
+			}
+			if done {
+				return
+			}
+			continue
+		}
+		batch := s.popBatchLocked(part)
+		s.mu.Unlock()
+		s.stageBatch(part, ci, batch)
+		if granted {
+			s.gov.release()
+		}
 	}
 }
 
-// stageSegment fetches one segment from its source node to the
-// partition's staging home. Staging is best-effort: any failure abandons
-// the segment and the reduce attempt direct-fetches it instead.
-func (s *shuffleService) stageSegment(part, ci int, req stageReq) {
-	if part < 0 || part >= len(req.out.index.Segments) {
-		return
+// popBatchLocked removes and returns the next copier batch: the head of
+// the partition's queue plus every queued segment from the same source
+// node that fits under the batch byte cap (the head is always taken, even
+// oversized). Caller holds s.mu.
+func (s *shuffleService) popBatchLocked(part int) []stageReq {
+	q := s.pend[part]
+	head := q[0]
+	batch := []stageReq{head}
+	total := segWireHint(head, part)
+	var keep []stageReq
+	for _, r := range q[1:] {
+		if hint := segWireHint(r, part); r.out.node == head.out.node && total+hint <= s.batchBytes {
+			batch = append(batch, r)
+			total += hint
+		} else {
+			keep = append(keep, r)
+		}
 	}
+	s.pend[part] = keep
+	return batch
+}
+
+// segWireHint estimates a queued segment's wire size from its on-disk
+// length — the only size known before the fetch (transcoding may shrink
+// it further).
+func segWireHint(r stageReq, part int) int64 {
+	if part < 0 || part >= len(r.out.index.Segments) {
+		return 0
+	}
+	return r.out.index.Segments[part].Len
+}
+
+// fetchedSeg is one batch member read from its source disk, possibly
+// transcoded to the compressed wire format.
+type fetchedSeg struct {
+	req        stageReq
+	data       []byte
+	compressed bool
+}
+
+// stageBatch fetches a batch of same-source segments to the partition's
+// staging home in one fabric transfer, compressing uncompressed segments
+// for the wire first. Staging stays best-effort: a segment that fails to
+// read is dropped from the batch, a failed transfer abandons the whole
+// batch, and reduce attempts direct-fetch whatever was not staged.
+func (s *shuffleService) stageBatch(part, ci int, batch []stageReq) {
 	home := s.home(part)
 	copierSlot := s.c.ReduceSlots() + ci
-	span := s.tr.StartAttempt(trace.KindShuffleCopy, trace.LaneReduce, home, req.src, copierSlot, part)
-	raw, err := kvio.ReadSegment(s.c.Disks[req.out.node], req.out.index, part)
-	if err != nil {
+	span := s.tr.StartAttempt(trace.KindShuffleCopy, trace.LaneReduce, home, batch[0].src, copierSlot, part)
+	var (
+		segs    []fetchedSeg
+		wire    int64 // total bytes as they will cross the fabric
+		raw     int64 // total bytes as they sit on the source disks
+		records int64
+	)
+	for _, req := range batch {
+		if part < 0 || part >= len(req.out.index.Segments) {
+			continue
+		}
+		data, err := kvio.ReadSegment(s.c.Disks[req.out.node], req.out.index, part)
+		if err != nil {
+			continue
+		}
+		f := fetchedSeg{req: req, data: data, compressed: req.out.index.Compressed}
+		raw += int64(len(data))
+		if !f.compressed && !s.rawWire && len(data) > 0 {
+			// Keep the raw bytes when transcoding does not pay: tiny
+			// segments (a handful of records at high fan-out) can expand
+			// by a frame byte per record.
+			if enc, cerr := kvio.CompressSegment(data); cerr == nil && len(enc) < len(data) {
+				f.data, f.compressed = enc, true
+			}
+		}
+		wire += int64(len(f.data))
+		records += req.out.index.Segments[part].Records
+		segs = append(segs, f)
+	}
+	if len(segs) == 0 {
 		span.End()
 		return
 	}
-	if len(raw) > 0 && req.out.node != home {
+	if src := segs[0].req.out.node; wire > 0 && src != home {
 		t0 := time.Now()
-		err := s.c.Net.Transfer(req.out.node, home, int64(len(raw)))
+		err := s.c.Net.Transfer(src, home, wire)
 		d := time.Since(t0)
 		s.tm.Inc(metrics.CtrShuffleFabricWaitNS, int64(d))
-		s.tr.Complete(trace.KindWaitFabric, trace.LaneReduce, home, req.src, copierSlot, t0, d)
+		s.tr.Complete(trace.KindWaitFabric, trace.LaneReduce, home, batch[0].src, copierSlot, t0, d)
 		if err != nil {
 			span.End()
 			return
 		}
 	}
-	st := &stagedSeg{len: int64(len(raw)), compressed: req.out.index.Compressed}
+	s.tm.Inc(metrics.CtrShuffleBatchFetches, 1)
+	s.tm.Inc(metrics.CtrShuffleBatchSegments, int64(len(segs)))
+	if saved := raw - wire; saved > 0 {
+		s.tm.Inc(metrics.CtrShuffleWireSavedBytes, saved)
+	}
+	var staged int64
+	for _, f := range segs {
+		if s.stageOne(part, home, copierSlot, f) {
+			staged += int64(len(f.data))
+		}
+	}
+	span.EndCounts(records, staged)
+}
+
+// stageOne parks one fetched segment at the staging home: in the memory
+// budget when a reservation lands, otherwise spilled to the home disk.
+// The wire length — compressed when transcoding shrank the segment — is
+// the one size used for the reservation, the spill decision, and every
+// staging counter, so budget accounting never mixes raw and compressed
+// byte counts. Reports whether the segment ended up staged.
+func (s *shuffleService) stageOne(part, home, copierSlot int, f fetchedSeg) bool {
+	st := &stagedSeg{len: int64(len(f.data)), compressed: f.compressed}
 	reserveStart := time.Now()
 	ok, waited := s.buf.reserve(st.len, stagingReserveWait)
 	if waited > 0 {
 		s.tm.Inc(metrics.CtrShuffleStagingWaitNS, int64(waited))
-		s.tr.Complete(trace.KindWaitStaging, trace.LaneReduce, home, req.src, copierSlot, reserveStart, waited)
+		s.tr.Complete(trace.KindWaitStaging, trace.LaneReduce, home, f.req.src, copierSlot, reserveStart, waited)
 	}
 	if ok {
 		if waited > 0 {
 			s.hists.StagingWait.Record(int64(waited))
 		}
-		st.data = raw
+		st.data = f.data
 	} else {
 		if waited > 0 {
 			s.hists.Stall.Record(int64(waited))
 		}
-		name := stagedSegName(s.prefix, part, req.src)
-		if err := s.writeStaged(home, name, raw); err != nil {
-			span.End()
-			return
+		name := stagedSegName(s.prefix, part, f.req.src)
+		if err := s.writeStaged(home, name, f.data); err != nil {
+			return false
 		}
 		st.file = name
 		s.tm.Inc(metrics.CtrShuffleStagedSpills, 1)
 	}
 	s.mu.Lock()
-	if s.closed || s.released[part] || s.staged[part][req.src] != nil {
+	if s.closed || s.released[part] || s.staged[part][f.req.src] != nil {
 		s.mu.Unlock()
 		s.discardStaged(home, st)
-		span.End()
-		return
+		return false
 	}
-	s.staged[part][req.src] = st
+	s.staged[part][f.req.src] = st
 	s.mu.Unlock()
 	s.tm.Inc(metrics.CtrShuffleStagedSegments, 1)
 	s.tm.Inc(metrics.CtrShuffleStagedBytes, st.len)
 	if !s.mapDone.Load() {
 		s.tm.Inc(metrics.CtrShuffleEarlySegments, 1)
 	}
-	span.EndCounts(req.out.index.Segments[part].Records, st.len)
+	return true
 }
 
 // stagedSegName names partition part's staged copy of map task src's
@@ -419,13 +558,24 @@ func (s *shuffleService) release(part int) {
 	}
 }
 
-// markMapDone flips early-fetch accounting off: segments staged from here
-// on no longer overlap the map phase.
+// markMapDone flips early-fetch accounting off — segments staged from
+// here on no longer overlap the map phase — and lifts the copier governor
+// to its full token budget.
 func (s *shuffleService) markMapDone() {
 	if s == nil {
 		return
 	}
 	s.mapDone.Store(true)
+	s.gov.markMapDone()
+}
+
+// noteMapProgress feeds committed map counts into the copier governor's
+// ramp: more committed maps, more concurrent copier batches allowed.
+func (s *shuffleService) noteMapProgress(done, total int) {
+	if s == nil {
+		return
+	}
+	s.gov.noteProgress(done, total)
 }
 
 // noteRetry counts one injected shuffle-fetch fault absorbed by a reduce
@@ -451,6 +601,7 @@ func (s *shuffleService) close() {
 	s.closed = true
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	s.gov.close()
 	s.buf.close()
 	s.wg.Wait()
 	s.mu.Lock()

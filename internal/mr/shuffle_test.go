@@ -61,6 +61,45 @@ func TestPipelinedShuffleMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestShuffleFetchPlaneVariantsMatchSerial sweeps the fetch-plane knobs —
+// raw wire (no compression), a 1-byte batch cap that degenerates every
+// batch to a single segment, the ungoverned copier pool, and the
+// compressed path squeezed through a 1-byte staging budget — and requires
+// byte-identical outputs against a serial-shuffle reference for each.
+func TestShuffleFetchPlaneVariantsMatchSerial(t *testing.T) {
+	serialC, corpus := newFTCluster(t, nil)
+	serialJob := ftJob(corpus, "wc-variant-serial")
+	serialJob.SerialShuffle = true
+	serialRes, err := mr.Run(serialC, serialJob)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	ref := readOutputs(t, serialC, serialRes)
+
+	cases := []struct {
+		name string
+		tune func(job *mr.Job)
+	}{
+		{"raw-wire", func(job *mr.Job) { job.ShuffleRawWire = true }},
+		{"one-byte-batch", func(job *mr.Job) { job.ShuffleBatchBytes = 1 }},
+		{"ungoverned", func(job *mr.Job) { job.ShuffleUngoverned = true }},
+		{"compressed-one-byte-buffer", func(job *mr.Job) { job.ShuffleBufferBytes = 1 }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			c, corpus := newFTCluster(t, nil)
+			job := ftJob(corpus, "wc-variant-"+tc.name)
+			tc.tune(job)
+			res, err := mr.Run(c, job)
+			if err != nil {
+				t.Fatalf("pipelined run: %v", err)
+			}
+			assertOutputsMatch(t, c, res, ref)
+		})
+	}
+}
+
 // TestEarlyFetchOverlapsMapPhase gives the job two full waves of map
 // tasks (16 splits over 8 map slots), so first-wave outputs commit while
 // second-wave tasks are still computing and the copier pools must stage
